@@ -1,0 +1,18 @@
+// Figure 2: total revenue as a function of α on FLIXSTER* and EPINIONS*,
+// for linear / constant / sublinear / superlinear incentive models and the
+// four algorithms. Paper headline: TI-CSRM achieves the highest revenue at
+// every point, with a margin that grows with α; under constant incentives
+// TI-CARM and TI-CSRM coincide.
+
+#include <cstdio>
+
+#include "bench/quality_sweep.h"
+
+int main() {
+  const double scale = isa::bench::EffectiveScale(0.15);
+  std::printf("=== Figure 2: total revenue vs alpha (scale %.2f) ===\n\n",
+              scale);
+  auto points = isa::bench::RunQualitySweep(scale);
+  isa::bench::PrintSweep(points, /*seeding_cost=*/false);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 3: total seeding cost as a function of α (same grid as Figure 2).
+// Paper headline: TI-CSRM consistently pays the least in seed incentives —
+// by orders of magnitude under the superlinear model.
+
+#include <cstdio>
+
+#include "bench/quality_sweep.h"
+
+int main() {
+  const double scale = isa::bench::EffectiveScale(0.15);
+  std::printf("=== Figure 3: total seeding cost vs alpha (scale %.2f) "
+              "===\n\n",
+              scale);
+  auto points = isa::bench::RunQualitySweep(scale);
+  isa::bench::PrintSweep(points, /*seeding_cost=*/true);
+  return 0;
+}

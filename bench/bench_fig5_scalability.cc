@@ -1,0 +1,120 @@
+// Figure 5: scalability of TI-CARM and TI-CSRM (window 5000) on DBLP* and
+// LIVEJOURNAL* with weighted-cascade probabilities, cpe = 1, α = 0.2,
+// ε = 0.3, linear incentives on the out-degree proxy.
+//   (a, b) running time vs number of advertisers h, fixed budget;
+//   (c, d) running time vs budget, h = 5.
+// Paper headline: near-linear growth in h; TI-CSRM slightly slower than
+// TI-CARM; budget growth is mostly linear for CSRM, flatter for CARM.
+//
+// Rows are streamed to stdout as they complete (this bench is the longest
+// in the suite; streaming keeps partial progress useful under timeouts).
+// LIVEJOURNAL* is restricted to the h sweep: its windowed TI-CSRM(5000)
+// runs take minutes per point at laptop scale (EXPERIMENTS.md), and the
+// budget trend is already exhibited on DBLP*.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+struct DatasetPlan {
+  isa::eval::DatasetId id;
+  double fixed_budget;               // for the h sweep
+  uint32_t max_h;                    // cap on the h sweep
+  std::vector<double> budget_sweep;  // for the budget sweep (h = 5)
+};
+
+void RunBoth(const isa::core::RmInstance& inst, const char* dataset,
+             const char* sweep, double x) {
+  auto opt = isa::bench::QualityTiOptions();
+  opt.epsilon = 0.3;
+  opt.theta_cap = 60'000;
+  struct Algo {
+    const char* name;
+    uint32_t window;
+    isa::core::CandidateRule cand;
+    isa::core::SelectionRule sel;
+  };
+  const Algo algos[] = {
+      {"TI-CARM", 0, isa::core::CandidateRule::kCoverage,
+       isa::core::SelectionRule::kMaxMarginalRevenue},
+      {"TI-CSRM(5000)", 5000, isa::core::CandidateRule::kCoverageCostRatio,
+       isa::core::SelectionRule::kMaxRate},
+  };
+  for (const Algo& algo : algos) {
+    auto o = opt;
+    o.window = algo.window;
+    o.candidate_rule = algo.cand;
+    o.selection_rule = algo.sel;
+    isa::Stopwatch watch;
+    auto res = isa::core::RunTiGreedy(inst, o);
+    isa::bench::Check(res.status(), algo.name);
+    std::printf("%-13s  %-7s  %-7.0f  %-14s  %8.3f  %6llu  %10.1f  %s\n",
+                dataset, sweep, x, algo.name, watch.ElapsedSeconds(),
+                (unsigned long long)res.value().total_seeds,
+                res.value().total_revenue,
+                isa::HumanBytes(res.value().total_rr_memory_bytes).c_str());
+    std::fflush(stdout);
+  }
+}
+
+isa::core::RmInstance MakeInstance(const isa::eval::Dataset& ds, uint32_t h,
+                                   double budget) {
+  isa::eval::WorkloadOptions opt;
+  opt.num_advertisers = h;
+  opt.budget_min = opt.budget_max = budget;
+  opt.cpe_min = opt.cpe_max = 1.0;
+  opt.incentive_model = isa::core::IncentiveModel::kLinear;
+  opt.alpha = 0.2;
+  opt.spread_source = isa::eval::SpreadSource::kOutDegreeProxy;
+  auto ads = isa::bench::MustValue(isa::eval::MakeAdvertisers(ds, opt),
+                                   "MakeAdvertisers");
+  auto spreads = isa::bench::MustValue(
+      isa::eval::ComputeSingletonSpreads(ds, ads, opt), "spreads");
+  std::vector<std::vector<double>> incentives;
+  for (const auto& s : spreads) {
+    incentives.push_back(isa::bench::MustValue(
+        isa::core::ComputeIncentives(opt.incentive_model, opt.alpha, s),
+        "incentives"));
+  }
+  return isa::bench::MustValue(
+      isa::core::RmInstance::Create(ds.graph, ds.topics, ads,
+                                    std::move(incentives)),
+      "RmInstance");
+}
+
+}  // namespace
+
+int main() {
+  const double scale = isa::bench::EffectiveScale(0.12);
+  std::printf("=== Figure 5: scalability of TI-CARM / TI-CSRM (scale %.2f) "
+              "===\n\n",
+              scale);
+  std::printf("%-13s  %-7s  %-7s  %-14s  %8s  %6s  %10s  %s\n", "dataset",
+              "sweep", "x", "algorithm", "seconds", "seeds", "revenue",
+              "RR memory");
+
+  const DatasetPlan plans[] = {
+      {isa::eval::DatasetId::kDblp, 1'500 * scale, 20,
+       {1'000, 2'000, 3'000, 4'000}},
+      {isa::eval::DatasetId::kLiveJournal, 3'000 * scale, 10, {}},
+  };
+
+  for (const DatasetPlan& plan : plans) {
+    auto ds = isa::bench::MustValue(
+        isa::eval::BuildDataset(plan.id, scale, 2017), "BuildDataset");
+    // (a, b): h sweep at fixed budget.
+    for (uint32_t h : {1u, 5u, 10u, 15u, 20u}) {
+      if (h > plan.max_h) break;
+      auto inst = MakeInstance(*ds, h, plan.fixed_budget);
+      RunBoth(inst, ds->name.c_str(), "h", h);
+    }
+    // (c, d): budget sweep at h = 5.
+    for (double budget : plan.budget_sweep) {
+      auto inst = MakeInstance(*ds, 5, budget * scale);
+      RunBoth(inst, ds->name.c_str(), "budget", budget * scale);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Google-benchmark microbenchmarks for the library's hot components:
+// graph generation, Eq. 1 probability mixing, forward cascades, RR
+// sampling, coverage maintenance, and weighted PageRank.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "diffusion/cascade.h"
+#include "graph/generators.h"
+#include "graph/pagerank.h"
+#include "rrset/rr_collection.h"
+#include "rrset/rr_sampler.h"
+#include "topic/tic_model.h"
+#include "topic/topic_distribution.h"
+
+namespace {
+
+using isa::graph::Graph;
+
+const Graph& SharedBaGraph() {
+  static const Graph g = isa::graph::GenerateBarabasiAlbert(
+                             {.num_nodes = 20'000, .edges_per_node = 5,
+                              .seed = 3})
+                             .value();
+  return g;
+}
+
+const isa::topic::TopicEdgeProbabilities& SharedWc() {
+  static const auto topics =
+      isa::topic::MakeWeightedCascade(SharedBaGraph(), 1).value();
+  return topics;
+}
+
+void BM_GenerateBarabasiAlbert(benchmark::State& state) {
+  const auto n = static_cast<isa::graph::NodeId>(state.range(0));
+  for (auto _ : state) {
+    auto g = isa::graph::GenerateBarabasiAlbert(
+        {.num_nodes = n, .edges_per_node = 3, .seed = 1});
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GenerateBarabasiAlbert)->Arg(1'000)->Arg(10'000);
+
+void BM_GenerateRmat(benchmark::State& state) {
+  for (auto _ : state) {
+    isa::graph::RmatOptions opt;
+    opt.scale = static_cast<uint32_t>(state.range(0));
+    opt.num_edges = (1u << opt.scale) * 8;
+    opt.seed = 1;
+    auto g = isa::graph::GenerateRmat(opt);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_GenerateRmat)->Arg(10)->Arg(14);
+
+void BM_MixAdProbabilities(benchmark::State& state) {
+  const auto& g = SharedBaGraph();
+  const auto topics =
+      isa::topic::MakeDegreeScaledRandom(g, 10, 7).value();
+  const auto gamma =
+      isa::topic::TopicDistribution::Concentrated(10, 2, 0.91).value();
+  for (auto _ : state) {
+    auto mixed = isa::topic::AdProbabilities::Mix(topics, gamma);
+    benchmark::DoNotOptimize(mixed);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges() * 10);
+}
+BENCHMARK(BM_MixAdProbabilities);
+
+void BM_CascadeRun(benchmark::State& state) {
+  const auto& g = SharedBaGraph();
+  const auto& topics = SharedWc();
+  isa::diffusion::CascadeSimulator sim(g);
+  isa::Rng rng(11);
+  const isa::graph::NodeId seeds[3] = {0, 1, 2};
+  uint64_t total = 0;
+  for (auto _ : state) {
+    total += sim.RunOnce(topics.topic(0), seeds, rng);
+  }
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CascadeRun);
+
+void BM_RrSample(benchmark::State& state) {
+  const auto& g = SharedBaGraph();
+  const auto& topics = SharedWc();
+  isa::rrset::RrSampler sampler(g, topics.topic(0));
+  isa::Rng rng(13);
+  std::vector<isa::graph::NodeId> rr;
+  for (auto _ : state) {
+    sampler.SampleInto(rng, &rr);
+    benchmark::DoNotOptimize(rr.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RrSample);
+
+void BM_CoverageMaintenance(benchmark::State& state) {
+  const auto& g = SharedBaGraph();
+  const auto& topics = SharedWc();
+  for (auto _ : state) {
+    state.PauseTiming();
+    isa::rrset::RrSampler sampler(g, topics.topic(0));
+    isa::rrset::RrCollection col(g.num_nodes());
+    isa::Rng rng(17);
+    col.AddSets(sampler, 20'000, rng, {});
+    std::vector<uint8_t> eligible(g.num_nodes(), 1);
+    state.ResumeTiming();
+    // Greedy loop: 50 argmax + removal rounds.
+    for (int i = 0; i < 50; ++i) {
+      auto v = col.ArgmaxCoverage(eligible);
+      if (v == isa::rrset::RrCollection::kInvalidNode) break;
+      eligible[v] = 0;
+      col.RemoveCoveredBy(v);
+    }
+  }
+}
+BENCHMARK(BM_CoverageMaintenance)->Unit(benchmark::kMillisecond);
+
+void BM_WeightedPageRank(benchmark::State& state) {
+  const auto& g = SharedBaGraph();
+  const auto& topics = SharedWc();
+  for (auto _ : state) {
+    auto pr = isa::graph::WeightedPageRank(g, topics.topic(0));
+    benchmark::DoNotOptimize(pr);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_WeightedPageRank)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Minimal logging / invariant-check macros.
+//
+// ISA_CHECK is for programmer errors (violated invariants); it aborts.
+// Recoverable conditions use Status instead — see common/status.h.
+
+#ifndef ISA_COMMON_LOGGING_H_
+#define ISA_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace isa::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "[isa] CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace isa::internal
+
+#define ISA_CHECK(expr)                                        \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::isa::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                          \
+  } while (0)
+
+#define ISA_LOG(...)                      \
+  do {                                    \
+    std::fprintf(stderr, "[isa] ");       \
+    std::fprintf(stderr, __VA_ARGS__);    \
+    std::fprintf(stderr, "\n");           \
+  } while (0)
+
+#endif  // ISA_COMMON_LOGGING_H_

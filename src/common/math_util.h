@@ -1,0 +1,46 @@
+// Numeric helpers for sample-size determination and statistics.
+
+#ifndef ISA_COMMON_MATH_UTIL_H_
+#define ISA_COMMON_MATH_UTIL_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace isa {
+
+/// log(n choose k) computed via lgamma; exact enough for Eq. (8) of the
+/// paper where it appears inside a ceiling of a large count.
+inline double LogBinomial(uint64_t n, uint64_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  if (k == 0 || k == n) return 0.0;
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+/// Sample mean.
+inline double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+/// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 points.
+inline double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = Mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+/// Clamps x into [lo, hi].
+inline double Clamp(double x, double lo, double hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+}  // namespace isa
+
+#endif  // ISA_COMMON_MATH_UTIL_H_

@@ -1,0 +1,23 @@
+#include "common/memory_meter.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace isa {
+
+std::string MemoryMeter::ToString() const {
+  return HumanBytes(current_) + " / " + HumanBytes(peak_) + " peak";
+}
+
+uint64_t ProcessResidentBytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long size = 0, resident = 0;
+  int got = std::fscanf(f, "%llu %llu", &size, &resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return resident * 4096ULL;
+}
+
+}  // namespace isa

@@ -1,0 +1,51 @@
+// Byte accounting for the data structures whose footprint the paper reports
+// (Table 3: RR-set memory usage of TI-CARM vs TI-CSRM).
+
+#ifndef ISA_COMMON_MEMORY_METER_H_
+#define ISA_COMMON_MEMORY_METER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace isa {
+
+/// Tracks bytes attributed to one subsystem. Components that own large
+/// buffers (RR-set collections, per-ad probability views) report their
+/// allocations here so experiments can print peak/current footprints
+/// without depending on OS-level RSS probes.
+class MemoryMeter {
+ public:
+  void Add(uint64_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+
+  void Sub(uint64_t bytes) {
+    current_ = bytes > current_ ? 0 : current_ - bytes;
+  }
+
+  /// Replaces the current attribution with an absolute figure. Useful when a
+  /// component can recompute its exact footprint cheaply.
+  void Set(uint64_t bytes) {
+    current_ = bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+
+  uint64_t current_bytes() const { return current_; }
+  uint64_t peak_bytes() const { return peak_; }
+
+  /// "current / peak" rendered with HumanBytes.
+  std::string ToString() const;
+
+ private:
+  uint64_t current_ = 0;
+  uint64_t peak_ = 0;
+};
+
+/// Best-effort resident-set size of the process in bytes (Linux /proc),
+/// 0 when unavailable. Used only for reporting, never for decisions.
+uint64_t ProcessResidentBytes();
+
+}  // namespace isa
+
+#endif  // ISA_COMMON_MEMORY_METER_H_

@@ -1,0 +1,24 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace isa {
+
+double Rng::NextExponential(double rate) {
+  // Inverse CDF; 1 - NextDouble() is in (0, 1] so the log is finite.
+  return -std::log(1.0 - NextDouble()) / rate;
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  // Marsaglia polar method; we deliberately discard the second variate to
+  // keep the generator stateless beyond its 256-bit core state.
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return mean + stddev * u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+}  // namespace isa

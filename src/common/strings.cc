@@ -1,0 +1,105 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace isa {
+
+std::vector<std::string_view> Split(std::string_view text, char sep,
+                                    bool skip_empty) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(sep, start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view piece = text.substr(start, end - start);
+    if (!skip_empty || !piece.empty()) parts.push_back(piece);
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return parts;
+}
+
+std::string_view Trim(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+Result<int64_t> ParseInt(std::string_view text) {
+  text = Trim(text);
+  if (text.empty()) return Status::InvalidArgument("empty integer literal");
+  std::string buf(text);
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer out of range: " + buf);
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not an integer: " + buf);
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  text = Trim(text);
+  if (text.empty()) return Status::InvalidArgument("empty double literal");
+  std::string buf(text);
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("double out of range: " + buf);
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not a double: " + buf);
+  }
+  return v;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  if (unit == 0) return StrFormat("%llu B", (unsigned long long)bytes);
+  return StrFormat("%.2f %s", v, kUnits[unit]);
+}
+
+std::string FormatDouble(double value, int precision) {
+  return StrFormat("%.*f", precision, value);
+}
+
+}  // namespace isa

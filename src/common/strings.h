@@ -1,0 +1,40 @@
+// Small string/parse helpers shared across the library.
+
+#ifndef ISA_COMMON_STRINGS_H_
+#define ISA_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace isa {
+
+/// Splits `text` on `sep`, optionally dropping empty pieces.
+std::vector<std::string_view> Split(std::string_view text, char sep,
+                                    bool skip_empty = false);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Parses a base-10 signed integer; rejects trailing garbage.
+Result<int64_t> ParseInt(std::string_view text);
+
+/// Parses a floating point value; rejects trailing garbage.
+Result<double> ParseDouble(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Human-readable byte count, e.g. "1.5 GiB".
+std::string HumanBytes(uint64_t bytes);
+
+/// Fixed-precision double rendering without locale effects ("12.345").
+std::string FormatDouble(double value, int precision = 3);
+
+}  // namespace isa
+
+#endif  // ISA_COMMON_STRINGS_H_

@@ -1,0 +1,90 @@
+#include "core/adaptive.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "diffusion/cascade.h"
+
+namespace isa::core {
+
+Result<AdaptiveResult> RunAdaptiveCampaign(const RmInstance& instance,
+                                           const AdaptiveOptions& options) {
+  if (options.stages == 0) {
+    return Status::InvalidArgument("RunAdaptiveCampaign: stages must be > 0");
+  }
+  const uint32_t h = instance.num_ads();
+
+  AdaptiveResult result;
+  result.remaining_budget.resize(h);
+  for (uint32_t j = 0; j < h; ++j) {
+    result.remaining_budget[j] = instance.budget(j);
+  }
+
+  diffusion::CascadeSimulator simulator(instance.graph());
+  Rng realization_rng(options.realization_seed);
+  std::vector<uint8_t> engaged(instance.num_nodes(), 0);
+  std::vector<graph::NodeId> excluded;
+  std::vector<graph::NodeId> activated;
+
+  for (uint32_t stage = 0; stage < options.stages; ++stage) {
+    // Skip advertisers whose remaining budget cannot cover a single further
+    // engagement — the TI run handles this naturally, but the early-out
+    // avoids RR sampling for spent campaigns.
+    bool any_budget = false;
+    for (uint32_t j = 0; j < h; ++j) {
+      if (result.remaining_budget[j] > instance.cpe(j)) any_budget = true;
+    }
+    if (!any_budget) break;
+
+    TiOptions ti = options.ti;
+    ti.seed = HashSeed(options.ti.seed, stage);
+    ti.excluded_nodes = excluded;
+    ti.budget_override = result.remaining_budget;
+    auto selection = RunTiGreedy(instance, ti);
+    if (!selection.ok()) return selection.status();
+    const TiResult& sel = selection.value();
+    if (sel.total_seeds == 0) break;  // nothing more to seed
+
+    StageOutcome outcome;
+    outcome.seeds_selected.resize(h);
+    outcome.realized_engagements.assign(h, 0.0);
+    outcome.realized_payment.assign(h, 0.0);
+
+    for (uint32_t j = 0; j < h; ++j) {
+      const auto& seeds = sel.allocation.seed_sets[j];
+      outcome.seeds_selected[j] = static_cast<uint32_t>(seeds.size());
+      if (seeds.empty()) continue;
+      // Realize one actual cascade (the "observed" engagement log).
+      simulator.RunOnceInto(instance.ad_probs(j), seeds, realization_rng,
+                            &activated);
+      // Users who engaged earlier do not engage again; they also leave the
+      // seed-eligible pool for later stages.
+      double fresh = 0.0;
+      for (graph::NodeId v : activated) {
+        if (!engaged[v]) {
+          engaged[v] = 1;
+          excluded.push_back(v);
+          fresh += 1.0;
+          ++result.total_engaged_users;
+        }
+      }
+      double incentives = 0.0;
+      for (graph::NodeId s : seeds) incentives += instance.incentive(j, s);
+      outcome.realized_engagements[j] = fresh;
+      const double revenue = instance.cpe(j) * fresh;
+      // The advertiser never pays beyond its remaining budget: engagements
+      // past the cap are served free (host's estimation risk), mirroring
+      // how a CPE contract with a spend cap settles.
+      outcome.realized_payment[j] =
+          std::min(revenue + incentives, result.remaining_budget[j]);
+      result.remaining_budget[j] -= outcome.realized_payment[j];
+      outcome.stage_revenue +=
+          std::max(0.0, outcome.realized_payment[j] - incentives);
+    }
+    result.total_revenue += outcome.stage_revenue;
+    result.stages.push_back(std::move(outcome));
+  }
+  return result;
+}
+
+}  // namespace isa::core

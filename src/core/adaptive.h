@@ -1,0 +1,66 @@
+// Adaptive (staged) campaigns — the paper's future-work item (iv):
+// "study our problem in an online adaptive setting where the partial
+// results of the campaign can be taken into account while deciding the
+// next moves."
+//
+// The host splits the time window into stages. Each stage:
+//   1. selects seeds with TI-CSRM/TI-CARM against each advertiser's
+//      *remaining* budget, excluding every user who already engaged;
+//   2. realizes one actual cascade per ad (a sample from the TIC process —
+//      in production this is the observed engagement log);
+//   3. charges the advertiser cpe · (realized engagements) plus the stage's
+//      seed incentives, and carries the unspent budget forward.
+//
+// Adaptivity helps because stage t+1 conditions on the realized (not
+// expected) outcome of stage t: lucky cascades free budget for more seeds,
+// unlucky ones avoid overcommitting. The single-stage special case is
+// exactly the paper's static setting.
+
+#ifndef ISA_CORE_ADAPTIVE_H_
+#define ISA_CORE_ADAPTIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/problem.h"
+#include "core/ti_greedy.h"
+
+namespace isa::core {
+
+struct AdaptiveOptions {
+  uint32_t stages = 3;
+  /// Seed-selection options used at every stage (seed is re-derived per
+  /// stage so stages draw independent RR samples).
+  TiOptions ti;
+  /// RNG seed for the realized cascades.
+  uint64_t realization_seed = 777;
+};
+
+/// One stage's accounting.
+struct StageOutcome {
+  std::vector<uint32_t> seeds_selected;       // per ad
+  std::vector<double> realized_engagements;   // per ad, one cascade sample
+  std::vector<double> realized_payment;       // per ad, cpe·eng + incentives
+  double stage_revenue = 0.0;                 // Σ cpe·engagements
+};
+
+struct AdaptiveResult {
+  std::vector<StageOutcome> stages;
+  /// Realized revenue over all stages.
+  double total_revenue = 0.0;
+  /// Budget left unspent per advertiser at the end.
+  std::vector<double> remaining_budget;
+  /// Every user who engaged with some ad (seeds + cascade reach).
+  uint64_t total_engaged_users = 0;
+};
+
+/// Runs the staged campaign. The instance's budgets are the full-window
+/// budgets; stage selections never exceed what remains. Deterministic in
+/// (options.ti.seed, options.realization_seed).
+Result<AdaptiveResult> RunAdaptiveCampaign(const RmInstance& instance,
+                                           const AdaptiveOptions& options);
+
+}  // namespace isa::core
+
+#endif  // ISA_CORE_ADAPTIVE_H_

@@ -1,0 +1,67 @@
+#include "core/brute_force.h"
+
+#include <cmath>
+
+namespace isa::core {
+
+Result<BruteForceResult> SolveOptimal(const RmInstance& instance,
+                                      SpreadOracle& oracle) {
+  const uint32_t n = instance.num_nodes();
+  const uint32_t h = instance.num_ads();
+  const double assignments =
+      std::pow(static_cast<double>(h) + 1.0, static_cast<double>(n));
+  if (assignments > 2e7) {
+    return Status::OutOfRange("SolveOptimal: instance too large");
+  }
+
+  BruteForceResult best;
+  best.allocation.seed_sets.assign(h, {});
+
+  // Mixed-radix counter over node assignments: digit u in [0, h], 0 means
+  // unseeded, k >= 1 means seed for ad k-1.
+  std::vector<uint32_t> assign(n, 0);
+  Allocation alloc;
+  alloc.seed_sets.assign(h, {});
+  const uint64_t total = static_cast<uint64_t>(assignments);
+  for (uint64_t it = 0;; ++it) {
+    for (auto& s : alloc.seed_sets) s.clear();
+    for (uint32_t u = 0; u < n; ++u) {
+      if (assign[u] > 0) alloc.seed_sets[assign[u] - 1].push_back(u);
+    }
+    // Feasibility + revenue.
+    double revenue = 0.0;
+    bool feasible = true;
+    for (uint32_t i = 0; i < h && feasible; ++i) {
+      const auto& seeds = alloc.seed_sets[i];
+      if (seeds.empty()) continue;
+      const double sigma = oracle.Spread(i, seeds);
+      const double pi = instance.cpe(i) * sigma;
+      double cost = 0.0;
+      for (graph::NodeId u : seeds) cost += instance.incentive(i, u);
+      if (pi + cost > instance.budget(i) + 1e-9) {
+        feasible = false;
+        break;
+      }
+      revenue += pi;
+    }
+    if (feasible) {
+      ++best.feasible_count;
+      if (revenue > best.total_revenue) {
+        best.total_revenue = revenue;
+        best.allocation = alloc;
+      }
+    }
+    // Increment the counter.
+    if (it + 1 >= total) break;
+    uint32_t pos = 0;
+    while (pos < n) {
+      if (++assign[pos] <= h) break;
+      assign[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  return best;
+}
+
+}  // namespace isa::core

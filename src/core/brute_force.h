@@ -1,0 +1,33 @@
+// Exhaustive optimal solver for tiny RM instances.
+//
+// Enumerates every assignment of nodes to {unseeded, ad 1, ..., ad h}
+// — (h+1)^n possibilities — evaluates π with the exact spread oracle and
+// keeps the best feasible allocation. Only viable for gadget instances
+// (n ≲ 10, h ≲ 3); used by tests to verify the greedy algorithms' empirical
+// approximation ratios against Theorems 2 and 3, and by the Figure 1
+// tightness example.
+
+#ifndef ISA_CORE_BRUTE_FORCE_H_
+#define ISA_CORE_BRUTE_FORCE_H_
+
+#include "common/status.h"
+#include "core/problem.h"
+#include "core/spread_oracle.h"
+
+namespace isa::core {
+
+struct BruteForceResult {
+  Allocation allocation;
+  double total_revenue = 0.0;
+  /// Number of feasible allocations examined.
+  uint64_t feasible_count = 0;
+};
+
+/// Exhaustive search. Fails with OutOfRange if (h+1)^n exceeds ~20M
+/// assignments.
+Result<BruteForceResult> SolveOptimal(const RmInstance& instance,
+                                      SpreadOracle& oracle);
+
+}  // namespace isa::core
+
+#endif  // ISA_CORE_BRUTE_FORCE_H_

@@ -1,0 +1,113 @@
+#include "core/curvature.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace isa::core {
+
+namespace {
+
+// f(j | S) with S given as a vector we can temporarily extend.
+double MarginalGain(const SetFunction& f, std::vector<graph::NodeId>& base,
+                    graph::NodeId j) {
+  const double without = f(base);
+  base.push_back(j);
+  const double with = f(base);
+  base.pop_back();
+  return with - without;
+}
+
+}  // namespace
+
+double TotalCurvature(const SetFunction& f, graph::NodeId num_elements) {
+  if (num_elements == 0) return 0.0;
+  std::vector<graph::NodeId> all(num_elements);
+  for (graph::NodeId j = 0; j < num_elements; ++j) all[j] = j;
+
+  double min_ratio = 1.0;
+  bool any = false;
+  std::vector<graph::NodeId> rest;
+  rest.reserve(num_elements);
+  for (graph::NodeId j = 0; j < num_elements; ++j) {
+    const graph::NodeId singleton[1] = {j};
+    const double fj = f(singleton);
+    if (fj <= 0.0) continue;
+    rest.clear();
+    for (graph::NodeId k : all) {
+      if (k != j) rest.push_back(k);
+    }
+    const double gain = MarginalGain(f, rest, j);
+    min_ratio = std::min(min_ratio, gain / fj);
+    any = true;
+  }
+  if (!any) return 0.0;
+  return Clamp(1.0 - min_ratio, 0.0, 1.0);
+}
+
+double CurvatureWrt(const SetFunction& f,
+                    std::span<const graph::NodeId> set) {
+  double min_ratio = 1.0;
+  bool any = false;
+  std::vector<graph::NodeId> rest;
+  rest.reserve(set.size());
+  for (graph::NodeId j : set) {
+    const graph::NodeId singleton[1] = {j};
+    const double fj = f(singleton);
+    if (fj <= 0.0) continue;
+    rest.clear();
+    for (graph::NodeId k : set) {
+      if (k != j) rest.push_back(k);
+    }
+    const double gain = MarginalGain(f, rest, j);
+    min_ratio = std::min(min_ratio, gain / fj);
+    any = true;
+  }
+  if (!any) return 0.0;
+  return Clamp(1.0 - min_ratio, 0.0, 1.0);
+}
+
+double AverageCurvatureWrt(const SetFunction& f,
+                           std::span<const graph::NodeId> set) {
+  double gain_sum = 0.0, singleton_sum = 0.0;
+  std::vector<graph::NodeId> rest;
+  rest.reserve(set.size());
+  for (graph::NodeId j : set) {
+    const graph::NodeId singleton[1] = {j};
+    singleton_sum += f(singleton);
+    rest.clear();
+    for (graph::NodeId k : set) {
+      if (k != j) rest.push_back(k);
+    }
+    gain_sum += MarginalGain(f, rest, j);
+  }
+  if (singleton_sum <= 0.0) return 0.0;
+  return Clamp(1.0 - gain_sum / singleton_sum, 0.0, 1.0);
+}
+
+double Theorem2Bound(double kappa_pi, uint64_t lower_rank,
+                     uint64_t upper_rank) {
+  if (upper_rank == 0 || lower_rank == 0) return 0.0;
+  const double r = static_cast<double>(lower_rank);
+  const double bigR = static_cast<double>(upper_rank);
+  if (kappa_pi <= 1e-12) {
+    // κ → 0 limit of (1/κ)(1 − (1 − κ/R)^r) is r/R.
+    return Clamp(r / bigR, 0.0, 1.0);
+  }
+  const double bound =
+      (1.0 / kappa_pi) * (1.0 - std::pow((bigR - kappa_pi) / bigR, r));
+  return Clamp(bound, 0.0, 1.0);
+}
+
+double Theorem3Bound(uint64_t upper_rank, double max_kappa_rho,
+                     double rho_max, double rho_min) {
+  if (upper_rank == 0 || rho_max <= 0.0) return 0.0;
+  const double bigR = static_cast<double>(upper_rank);
+  const double slack = (1.0 - max_kappa_rho) * rho_min;
+  if (slack <= 0.0) return 0.0;  // degenerate case (κ_ρ = 1), unbounded
+  const double bound = 1.0 - (bigR * rho_max) / (bigR * rho_max + slack);
+  return Clamp(bound, 0.0, 1.0);
+}
+
+}  // namespace isa::core

@@ -1,0 +1,64 @@
+// Curvature of submodular set functions (paper Definition 4, Iyer et al.)
+// and the approximation-guarantee calculators of Theorems 2 and 3.
+//
+// For a monotone submodular f on ground set V:
+//   total curvature       κ_f    = 1 − min_j f(j | V∖{j}) / f({j})
+//   curvature w.r.t. S    κ_f(S) = 1 − min_{j∈S} f(j | S∖{j}) / f({j})
+//   average curvature     κ̂_f(S) = 1 − Σ_{j∈S} f(j|S∖{j}) / Σ_{j∈S} f({j})
+// with 0 ≤ κ̂_f(S) ≤ κ_f(S) ≤ κ_f ≤ 1. Modular functions have κ = 0.
+//
+// These are evaluated against an arbitrary oracle f : 2^V → R≥0 and are
+// O(|V|) oracle calls each — intended for analysis on small instances and
+// for tests that verify the theorems' bounds empirically.
+
+#ifndef ISA_CORE_CURVATURE_H_
+#define ISA_CORE_CURVATURE_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace isa::core {
+
+/// Set-function oracle over node ids (the caller fixes the advertiser /
+/// semantics). Must be monotone submodular for the curvature notions to be
+/// meaningful; the functions below do not verify that.
+using SetFunction =
+    std::function<double(std::span<const graph::NodeId> /*set*/)>;
+
+/// κ_f over ground set {0, ..., num_elements-1}. Elements with f({j}) = 0
+/// are skipped (their ratio is 0/0; they cannot affect a monotone f's
+/// curvature). Returns 0 for an empty/degenerate ground set.
+double TotalCurvature(const SetFunction& f, graph::NodeId num_elements);
+
+/// κ_f(S).
+double CurvatureWrt(const SetFunction& f,
+                    std::span<const graph::NodeId> set);
+
+/// κ̂_f(S).
+double AverageCurvatureWrt(const SetFunction& f,
+                           std::span<const graph::NodeId> set);
+
+/// Theorem 2: CA-GREEDY guarantee  (1/κ)·(1 − ((R−κ)/R)^r)  for total
+/// curvature κ of π, lower/upper ranks r ≤ R of the independence system.
+/// κ → 0 is handled by the limit r/R·(1 + o(1)) → computed via expm1-style
+/// evaluation; the bound is clamped into [0, 1].
+double Theorem2Bound(double kappa_pi, uint64_t lower_rank,
+                     uint64_t upper_rank);
+
+/// Theorem 3: CS-GREEDY guarantee
+///   1 − R·ρmax / (R·ρmax + (1 − max_i κ_{ρ_i})·ρmin).
+double Theorem3Bound(uint64_t upper_rank, double max_kappa_rho,
+                     double rho_max, double rho_min);
+
+/// The worst-case floor 1/R of the Theorem 2 bound (Eq. 3 in the paper).
+inline double WorstCaseBound(uint64_t upper_rank) {
+  return upper_rank == 0 ? 0.0 : 1.0 / static_cast<double>(upper_rank);
+}
+
+}  // namespace isa::core
+
+#endif  // ISA_CORE_CURVATURE_H_

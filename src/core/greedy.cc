@@ -1,0 +1,212 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace isa::core {
+
+namespace {
+
+constexpr double kBudgetSlack = 1e-9;
+
+// CELF implementation (options.lazy): identical selection semantics to the
+// scan-based driver, but marginal gains are cached in a max-heap and only
+// the popped top is re-evaluated against the advertiser's current seed set.
+Result<GreedyResult> RunLazyGreedy(const RmInstance& instance,
+                                   SpreadOracle& oracle,
+                                   const GreedyOptions& options) {
+  const uint32_t h = instance.num_ads();
+  const uint32_t n = instance.num_nodes();
+
+  GreedyResult result;
+  result.allocation.seed_sets.assign(h, {});
+  result.revenue.assign(h, 0.0);
+  result.payment.assign(h, 0.0);
+
+  std::vector<uint8_t> assigned(n, 0);
+  std::vector<double> sigma(h, 0.0);
+  std::vector<double> seed_cost(h, 0.0);
+  std::vector<uint32_t> version(h, 0);  // bumps when ad i gains a seed
+
+  struct Entry {
+    double score;
+    double sigma_with;
+    uint32_t ad;
+    graph::NodeId node;
+    uint32_t version;  // ad version the score was computed against
+  };
+  struct EntryLess {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.score != b.score) return a.score < b.score;
+      if (a.ad != b.ad) return a.ad > b.ad;
+      return a.node > b.node;  // smallest (ad, node) wins ties, like the scan
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, EntryLess> heap;
+
+  std::vector<graph::NodeId> probe;
+  auto evaluate = [&](uint32_t i, graph::NodeId u) {
+    const auto& seeds = result.allocation.seed_sets[i];
+    probe.assign(seeds.begin(), seeds.end());
+    probe.push_back(u);
+    const double sigma_with = oracle.Spread(i, probe);
+    double marg_rev = instance.cpe(i) * (sigma_with - sigma[i]);
+    if (marg_rev < options.gain_floor) marg_rev = 0.0;
+    const double marg_pay = marg_rev + instance.incentive(i, u);
+    double score;
+    if (options.cost_sensitive) {
+      score = marg_pay > 0.0 ? marg_rev / marg_pay : 0.0;
+    } else {
+      score = marg_rev;
+    }
+    return Entry{score, sigma_with, i, u, version[i]};
+  };
+
+  for (uint32_t i = 0; i < h; ++i) {
+    for (graph::NodeId u = 0; u < n; ++u) heap.push(evaluate(i, u));
+  }
+
+  while (!heap.empty()) {
+    if (options.max_seeds != 0 &&
+        result.allocation.TotalSeeds() >= options.max_seeds) {
+      break;
+    }
+    Entry top = heap.top();
+    heap.pop();
+    if (assigned[top.node]) continue;  // matroid: pair permanently gone
+    if (top.version != version[top.ad]) {
+      heap.push(evaluate(top.ad, top.node));  // stale: refresh and retry
+      continue;
+    }
+    // Fresh top: this IS the argmax (every other entry is an upper bound of
+    // its own current score). Feasibility test as in Algorithm 1.
+    const double new_revenue = instance.cpe(top.ad) * top.sigma_with;
+    const double new_cost =
+        seed_cost[top.ad] + instance.incentive(top.ad, top.node);
+    const double new_payment = new_revenue + new_cost;
+    if (new_payment <= instance.budget(top.ad) + kBudgetSlack) {
+      result.steps.push_back(GreedyStep{
+          top.ad, top.node, new_revenue - result.revenue[top.ad],
+          new_payment - result.payment[top.ad]});
+      result.allocation.seed_sets[top.ad].push_back(top.node);
+      sigma[top.ad] = top.sigma_with;
+      seed_cost[top.ad] = new_cost;
+      result.revenue[top.ad] = new_revenue;
+      result.payment[top.ad] = new_payment;
+      assigned[top.node] = 1;
+      ++version[top.ad];
+    }
+    // Infeasible pairs simply stay popped (removed from the ground set).
+  }
+
+  for (uint32_t i = 0; i < h; ++i) result.total_revenue += result.revenue[i];
+  result.oracle_queries = oracle.query_count();
+  return result;
+}
+
+}  // namespace
+
+Result<GreedyResult> RunGreedy(const RmInstance& instance,
+                               SpreadOracle& oracle,
+                               const GreedyOptions& options) {
+  if (instance.num_nodes() == 0) {
+    return Status::InvalidArgument("RunGreedy: empty graph");
+  }
+  if (options.lazy) return RunLazyGreedy(instance, oracle, options);
+  const uint32_t h = instance.num_ads();
+  const uint32_t n = instance.num_nodes();
+  if (n == 0) return Status::InvalidArgument("RunGreedy: empty graph");
+
+  GreedyResult result;
+  result.allocation.seed_sets.assign(h, {});
+  result.revenue.assign(h, 0.0);
+  result.payment.assign(h, 0.0);
+
+  // Ground set membership per (ad, node); pairs are removed permanently on
+  // matroid/knapsack violation, as in Algorithm 1 line 12.
+  std::vector<std::vector<uint8_t>> alive(h, std::vector<uint8_t>(n, 1));
+  std::vector<uint8_t> assigned(n, 0);
+  std::vector<double> sigma(h, 0.0);        // σ_i(S_i) per current estimate
+  std::vector<double> seed_cost(h, 0.0);    // c_i(S_i)
+  std::vector<uint64_t> alive_count(h, n);
+
+  std::vector<graph::NodeId> probe;  // S_i ∪ {u} scratch
+
+  while (true) {
+    if (options.max_seeds != 0 &&
+        result.allocation.TotalSeeds() >= options.max_seeds) {
+      break;
+    }
+    // Find the best-scoring pair in the current ground set.
+    double best_score = -1.0;
+    uint32_t best_ad = 0;
+    graph::NodeId best_node = 0;
+    double best_sigma_with = 0.0;
+    bool found = false;
+    for (uint32_t i = 0; i < h; ++i) {
+      if (alive_count[i] == 0) continue;
+      const auto& seeds = result.allocation.seed_sets[i];
+      probe.assign(seeds.begin(), seeds.end());
+      probe.push_back(0);
+      for (graph::NodeId u = 0; u < n; ++u) {
+        if (!alive[i][u]) continue;
+        if (assigned[u]) {
+          // Matroid violation is permanent: retire the pair without an
+          // oracle query.
+          alive[i][u] = 0;
+          --alive_count[i];
+          continue;
+        }
+        probe.back() = u;
+        const double sigma_with = oracle.Spread(i, probe);
+        double marg_rev = instance.cpe(i) * (sigma_with - sigma[i]);
+        if (marg_rev < options.gain_floor) marg_rev = 0.0;
+        const double marg_pay = marg_rev + instance.incentive(i, u);
+        double score;
+        if (options.cost_sensitive) {
+          // Zero marginal payment implies zero marginal revenue and a free
+          // seed — harmless but useless; score it 0.
+          score = marg_pay > 0.0 ? marg_rev / marg_pay : 0.0;
+        } else {
+          score = marg_rev;
+        }
+        if (score > best_score) {
+          best_score = score;
+          best_ad = i;
+          best_node = u;
+          best_sigma_with = sigma_with;
+          found = true;
+        }
+      }
+    }
+    if (!found) break;  // ground set exhausted
+
+    // Feasibility test (Algorithm 1 line 5): knapsack ρ_i(S ∪ u) ≤ B_i.
+    const double new_revenue = instance.cpe(best_ad) * best_sigma_with;
+    const double new_cost =
+        seed_cost[best_ad] + instance.incentive(best_ad, best_node);
+    const double new_payment = new_revenue + new_cost;
+    if (new_payment <= instance.budget(best_ad) + kBudgetSlack) {
+      const double marg_rev = new_revenue - result.revenue[best_ad];
+      const double marg_pay = new_payment - result.payment[best_ad];
+      result.allocation.seed_sets[best_ad].push_back(best_node);
+      result.steps.push_back(
+          GreedyStep{best_ad, best_node, marg_rev, marg_pay});
+      sigma[best_ad] = best_sigma_with;
+      seed_cost[best_ad] = new_cost;
+      result.revenue[best_ad] = new_revenue;
+      result.payment[best_ad] = new_payment;
+      assigned[best_node] = 1;
+    }
+    // Selected or rejected, the pair leaves the ground set.
+    alive[best_ad][best_node] = 0;
+    --alive_count[best_ad];
+  }
+
+  for (uint32_t i = 0; i < h; ++i) result.total_revenue += result.revenue[i];
+  result.oracle_queries = oracle.query_count();
+  return result;
+}
+
+}  // namespace isa::core

@@ -1,0 +1,70 @@
+// CA-GREEDY and CS-GREEDY (paper §3.1–3.2, Algorithm 1) against a spread
+// oracle.
+//
+// Both algorithms iterate over the ground set E = V × [h] of (node,
+// advertiser) pairs. Each round:
+//   CA-GREEDY  picks argmax π_i(u | S_i)                    (revenue gain)
+//   CS-GREEDY  picks argmax π_i(u | S_i) / ρ_i(u | S_i)     (gain per cost)
+// and adds the pair if it stays feasible — ρ_i(S_i ∪ {u}) ≤ B_i and u not
+// assigned to any ad (partition matroid). An infeasible pair is removed
+// from the ground set permanently (its payment only grows as S_i grows, and
+// matroid violations are permanent), exactly the behaviour of Algorithm 1.
+//
+// These are the reference implementations with provable guarantees
+// (Theorems 2 and 3); they perform O(n·h) oracle queries per round and are
+// intended for quality studies on small/medium instances. The scalable
+// counterparts are TiGreedy (core/ti_greedy.h).
+
+#ifndef ISA_CORE_GREEDY_H_
+#define ISA_CORE_GREEDY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/problem.h"
+#include "core/spread_oracle.h"
+
+namespace isa::core {
+
+struct GreedyOptions {
+  /// Cost-sensitive (CS-GREEDY) or cost-agnostic (CA-GREEDY) choice rule.
+  bool cost_sensitive = false;
+  /// Safety cap on selected seeds (0 = unlimited).
+  uint64_t max_seeds = 0;
+  /// Marginal gains below this are treated as 0 (MC noise floor).
+  double gain_floor = 1e-12;
+  /// CELF lazy evaluation (Leskovec et al. 2007): keep stale marginal gains
+  /// in a max-heap and only re-evaluate the popped top. Valid because both
+  /// the CA score Δπ and the CS score Δπ/(Δπ + c) are non-increasing as the
+  /// seed set grows (submodularity; c is fixed per pair). Typically saves
+  /// the vast majority of oracle queries with an identical allocation.
+  bool lazy = false;
+};
+
+/// One selection step, for tracing / tests.
+struct GreedyStep {
+  uint32_t ad = 0;
+  graph::NodeId node = 0;
+  double marginal_revenue = 0.0;
+  double marginal_payment = 0.0;
+};
+
+struct GreedyResult {
+  Allocation allocation;
+  std::vector<GreedyStep> steps;
+  /// π_i(S_i) as estimated by the oracle during the run.
+  std::vector<double> revenue;
+  /// ρ_i(S_i) as estimated during the run.
+  std::vector<double> payment;
+  double total_revenue = 0.0;
+  uint64_t oracle_queries = 0;
+};
+
+/// Runs Algorithm 1 (or its cost-sensitive variant) to completion.
+Result<GreedyResult> RunGreedy(const RmInstance& instance,
+                               SpreadOracle& oracle,
+                               const GreedyOptions& options);
+
+}  // namespace isa::core
+
+#endif  // ISA_CORE_GREEDY_H_

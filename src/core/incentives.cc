@@ -1,0 +1,67 @@
+#include "core/incentives.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace isa::core {
+
+const char* IncentiveModelName(IncentiveModel model) {
+  switch (model) {
+    case IncentiveModel::kLinear:
+      return "linear";
+    case IncentiveModel::kConstant:
+      return "constant";
+    case IncentiveModel::kSublinear:
+      return "sublinear";
+    case IncentiveModel::kSuperlinear:
+      return "superlinear";
+  }
+  return "unknown";
+}
+
+Result<IncentiveModel> ParseIncentiveModel(const std::string& name) {
+  if (name == "linear") return IncentiveModel::kLinear;
+  if (name == "constant") return IncentiveModel::kConstant;
+  if (name == "sublinear") return IncentiveModel::kSublinear;
+  if (name == "superlinear") return IncentiveModel::kSuperlinear;
+  return Status::InvalidArgument("unknown incentive model: " + name);
+}
+
+Result<std::vector<double>> ComputeIncentives(
+    IncentiveModel model, double alpha,
+    std::span<const double> singleton_spreads) {
+  if (alpha <= 0.0) {
+    return Status::InvalidArgument("ComputeIncentives: alpha must be > 0");
+  }
+  if (singleton_spreads.empty()) {
+    return Status::InvalidArgument("ComputeIncentives: no spreads");
+  }
+  const size_t n = singleton_spreads.size();
+  std::vector<double> out(n);
+  auto clamped = [&](size_t u) {
+    return std::max(1.0, singleton_spreads[u]);
+  };
+  switch (model) {
+    case IncentiveModel::kLinear:
+      for (size_t u = 0; u < n; ++u) out[u] = alpha * clamped(u);
+      break;
+    case IncentiveModel::kConstant: {
+      double total = 0.0;
+      for (size_t u = 0; u < n; ++u) total += clamped(u);
+      const double c = alpha * total / static_cast<double>(n);
+      std::fill(out.begin(), out.end(), c);
+      break;
+    }
+    case IncentiveModel::kSublinear:
+      for (size_t u = 0; u < n; ++u) out[u] = alpha * std::log(clamped(u));
+      break;
+    case IncentiveModel::kSuperlinear:
+      for (size_t u = 0; u < n; ++u) {
+        out[u] = alpha * clamped(u) * clamped(u);
+      }
+      break;
+  }
+  return out;
+}
+
+}  // namespace isa::core

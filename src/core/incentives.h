@@ -1,0 +1,46 @@
+// Seed-user incentive models (paper §5, "Seed incentive models").
+//
+// The incentive c_i(u) a seed user u receives for endorsing ad i is a
+// monotone function f of u's influence potential σ_i({u}) for the topic of
+// that ad. The paper evaluates four schedules, each scaled by a host-chosen
+// dollar-cents factor α > 0:
+//
+//   linear:      c_i(u) = α · σ_i({u})
+//   constant:    c_i(u) = α · (Σ_v σ_i({v})) / n         (same for all u)
+//   sublinear:   c_i(u) = α · log(σ_i({u}))
+//   superlinear: c_i(u) = α · σ_i({u})²
+
+#ifndef ISA_CORE_INCENTIVES_H_
+#define ISA_CORE_INCENTIVES_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace isa::core {
+
+enum class IncentiveModel {
+  kLinear,
+  kConstant,
+  kSublinear,
+  kSuperlinear,
+};
+
+/// "linear", "constant", "sublinear", "superlinear".
+const char* IncentiveModelName(IncentiveModel model);
+Result<IncentiveModel> ParseIncentiveModel(const std::string& name);
+
+/// Computes c_i(u) for every node from the ad-specific singleton spreads.
+/// `singleton_spreads[u]` = σ_i({u}) (MC estimate, RR estimate, or the
+/// out-degree proxy). Spreads below 1 are clamped to 1 (σ({u}) ≥ 1 by
+/// definition — the seed engages itself), which also keeps the sublinear
+/// schedule non-negative. Fails if alpha <= 0 or spreads are empty.
+Result<std::vector<double>> ComputeIncentives(
+    IncentiveModel model, double alpha,
+    std::span<const double> singleton_spreads);
+
+}  // namespace isa::core
+
+#endif  // ISA_CORE_INCENTIVES_H_

@@ -1,0 +1,68 @@
+#include "core/ranks.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace isa::core {
+
+Result<RankEstimate> EstimateRanks(const RmInstance& instance,
+                                   SpreadOracle& oracle,
+                                   const RankEstimatorOptions& options) {
+  const uint32_t h = instance.num_ads();
+  const uint32_t n = instance.num_nodes();
+  if (options.trials == 0) {
+    return Status::InvalidArgument("EstimateRanks: trials must be > 0");
+  }
+
+  RankEstimate estimate;
+  estimate.lower_rank = UINT64_MAX;
+  uint64_t total_size = 0;
+
+  for (uint32_t t = 0; t < options.trials; ++t) {
+    Rng rng(HashSeed(options.seed, t));
+    // Random order over the ground set E = V x [h].
+    std::vector<uint64_t> order(static_cast<uint64_t>(n) * h);
+    std::iota(order.begin(), order.end(), 0);
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.NextBounded(i)]);
+    }
+
+    Allocation alloc;
+    alloc.seed_sets.assign(h, {});
+    std::vector<uint8_t> assigned(n, 0);
+    std::vector<double> payment(h, 0.0);
+    std::vector<double> seed_cost(h, 0.0);
+    uint64_t size = 0;
+    for (uint64_t pair : order) {
+      if (options.max_set_size != 0 && size >= options.max_set_size) break;
+      const auto u = static_cast<graph::NodeId>(pair % n);
+      const auto i = static_cast<uint32_t>(pair / n);
+      if (assigned[u]) continue;  // partition matroid
+      auto& seeds = alloc.seed_sets[i];
+      seeds.push_back(u);
+      const double sigma = oracle.Spread(i, seeds);
+      const double new_cost = seed_cost[i] + instance.incentive(i, u);
+      const double new_payment = instance.cpe(i) * sigma + new_cost;
+      if (new_payment <= instance.budget(i) + 1e-9) {
+        assigned[u] = 1;
+        seed_cost[i] = new_cost;
+        payment[i] = new_payment;
+        ++size;
+      } else {
+        seeds.pop_back();  // infeasible: pair permanently rejected
+      }
+    }
+    estimate.lower_rank = std::min(estimate.lower_rank, size);
+    estimate.upper_rank = std::max(estimate.upper_rank, size);
+    total_size += size;
+  }
+  estimate.mean_size =
+      static_cast<double>(total_size) / options.trials;
+  estimate.trials = options.trials;
+  if (estimate.lower_rank == UINT64_MAX) estimate.lower_rank = 0;
+  return estimate;
+}
+
+}  // namespace isa::core

@@ -1,0 +1,46 @@
+// Empirical lower/upper rank estimation for the RM independence system.
+//
+// Theorem 2's guarantee depends on the lower rank r and upper rank R of
+// (E, C) — the sizes of the smallest and largest maximal feasible sets
+// (Definition 5). Computing them exactly is itself a hard combinatorial
+// problem, so we estimate: build many maximal feasible solutions by adding
+// uniformly random feasible (node, advertiser) pairs until none fits, and
+// report the min/max sizes seen. The estimates bracket the truth from
+// inside (r_hat >= r is not guaranteed, but min over trials converges on r
+// as trials grow; symmetrically for R), which is exactly what an
+// instance-dependent bound report needs.
+
+#ifndef ISA_CORE_RANKS_H_
+#define ISA_CORE_RANKS_H_
+
+#include "common/status.h"
+#include "core/problem.h"
+#include "core/spread_oracle.h"
+
+namespace isa::core {
+
+struct RankEstimate {
+  uint64_t lower_rank = 0;   // smallest maximal feasible set found
+  uint64_t upper_rank = 0;   // largest maximal feasible set found
+  double mean_size = 0.0;    // mean maximal-set size over trials
+  uint32_t trials = 0;
+};
+
+struct RankEstimatorOptions {
+  uint32_t trials = 30;
+  uint64_t seed = 5;
+  /// Cap per trial (0 = unlimited) — guards against tiny-incentive
+  /// instances whose maximal sets approach |V|.
+  uint64_t max_set_size = 0;
+};
+
+/// Runs `trials` random maximal-set constructions against the oracle.
+/// O(trials · n · h) oracle queries in the worst case; intended for small
+/// instances and bound reports.
+Result<RankEstimate> EstimateRanks(const RmInstance& instance,
+                                   SpreadOracle& oracle,
+                                   const RankEstimatorOptions& options = {});
+
+}  // namespace isa::core
+
+#endif  // ISA_CORE_RANKS_H_

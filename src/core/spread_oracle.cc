@@ -1,0 +1,68 @@
+#include "core/spread_oracle.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace isa::core {
+
+Result<std::unique_ptr<ExactSpreadOracle>> ExactSpreadOracle::Create(
+    const RmInstance& instance) {
+  if (instance.graph().num_edges() > diffusion::kMaxExactEdges) {
+    return Status::OutOfRange(
+        "ExactSpreadOracle: graph too large for enumeration");
+  }
+  return std::unique_ptr<ExactSpreadOracle>(new ExactSpreadOracle(instance));
+}
+
+double ExactSpreadOracle::Spread(uint32_t ad,
+                                 std::span<const graph::NodeId> seeds) {
+  ++queries_;
+  auto r = diffusion::ExactSpread(instance_.graph(), instance_.ad_probs(ad),
+                                  seeds);
+  ISA_CHECK(r.ok());  // size was validated at Create
+  return r.value();
+}
+
+McSpreadOracle::McSpreadOracle(const RmInstance& instance, uint32_t runs,
+                               uint64_t base_seed)
+    : instance_(instance),
+      simulator_(instance.graph()),
+      runs_(runs),
+      base_seed_(base_seed) {}
+
+double McSpreadOracle::Spread(uint32_t ad,
+                              std::span<const graph::NodeId> seeds) {
+  ++queries_;
+  // Per-ad fixed seed: queries about supersets reuse the same cascade
+  // randomness (common random numbers).
+  return simulator_.EstimateSpread(instance_.ad_probs(ad), seeds, runs_,
+                                   HashSeed(base_seed_, ad));
+}
+
+AllocationEvaluation EvaluateAllocation(const RmInstance& instance,
+                                        const Allocation& allocation,
+                                        SpreadOracle& oracle) {
+  AllocationEvaluation eval;
+  const uint32_t h = instance.num_ads();
+  eval.spread.resize(h, 0.0);
+  eval.revenue.resize(h, 0.0);
+  eval.seeding_cost.resize(h, 0.0);
+  eval.payment.resize(h, 0.0);
+  eval.feasible = allocation.seed_sets.size() == h &&
+                  allocation.IsDisjoint(instance.num_nodes());
+  for (uint32_t i = 0; i < h && i < allocation.seed_sets.size(); ++i) {
+    const auto& seeds = allocation.seed_sets[i];
+    eval.spread[i] = seeds.empty() ? 0.0 : oracle.Spread(i, seeds);
+    eval.revenue[i] = instance.cpe(i) * eval.spread[i];
+    for (graph::NodeId u : seeds) {
+      eval.seeding_cost[i] += instance.incentive(i, u);
+    }
+    eval.payment[i] = eval.revenue[i] + eval.seeding_cost[i];
+    eval.total_revenue += eval.revenue[i];
+    eval.total_seeding_cost += eval.seeding_cost[i];
+    if (eval.payment[i] > instance.budget(i) + 1e-9) eval.feasible = false;
+  }
+  return eval;
+}
+
+}  // namespace isa::core

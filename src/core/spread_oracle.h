@@ -1,0 +1,82 @@
+// Spread oracles: the abstraction CA-GREEDY / CS-GREEDY are written against.
+//
+// The oracle answers σ_i(S) queries for any ad and seed set. Two
+// implementations:
+//   - ExactSpreadOracle: possible-world enumeration (gadget graphs only) —
+//     ground truth for tests and the brute-force optimal solver;
+//   - McSpreadOracle: Monte-Carlo estimation with deterministic per-(ad,
+//     query) seeding and common-random-numbers marginals.
+// The scalable TI-CARM / TI-CSRM algorithms do NOT use this interface; they
+// estimate spreads from their RR samples directly (paper §4).
+
+#ifndef ISA_CORE_SPREAD_ORACLE_H_
+#define ISA_CORE_SPREAD_ORACLE_H_
+
+#include <memory>
+#include <span>
+
+#include "common/status.h"
+#include "core/problem.h"
+#include "diffusion/cascade.h"
+#include "diffusion/exact.h"
+
+namespace isa::core {
+
+/// Interface for σ_i(S) evaluation.
+class SpreadOracle {
+ public:
+  virtual ~SpreadOracle() = default;
+
+  /// Expected spread of `seeds` for ad `i`.
+  virtual double Spread(uint32_t ad, std::span<const graph::NodeId> seeds) = 0;
+
+  /// Number of σ evaluations performed (diagnostics).
+  virtual uint64_t query_count() const = 0;
+};
+
+/// Exact oracle via possible-world enumeration. Only valid when the graph
+/// has at most diffusion::kMaxExactEdges arcs; Create fails otherwise.
+class ExactSpreadOracle : public SpreadOracle {
+ public:
+  static Result<std::unique_ptr<ExactSpreadOracle>> Create(
+      const RmInstance& instance);
+
+  double Spread(uint32_t ad, std::span<const graph::NodeId> seeds) override;
+  uint64_t query_count() const override { return queries_; }
+
+ private:
+  explicit ExactSpreadOracle(const RmInstance& instance)
+      : instance_(instance) {}
+  const RmInstance& instance_;
+  uint64_t queries_ = 0;
+};
+
+/// Monte-Carlo oracle. Each σ_i(S) query runs `runs` cascades with an RNG
+/// seeded by (base_seed, ad) — so σ_i(S) and σ_i(S ∪ {u}) share random
+/// numbers, which reduces the variance of marginal-gain comparisons.
+class McSpreadOracle : public SpreadOracle {
+ public:
+  McSpreadOracle(const RmInstance& instance, uint32_t runs,
+                 uint64_t base_seed);
+
+  double Spread(uint32_t ad, std::span<const graph::NodeId> seeds) override;
+  uint64_t query_count() const override { return queries_; }
+
+ private:
+  const RmInstance& instance_;
+  diffusion::CascadeSimulator simulator_;
+  uint32_t runs_;
+  uint64_t base_seed_;
+  uint64_t queries_ = 0;
+};
+
+/// Full accounting of an allocation under `oracle` (revenue, payments,
+/// feasibility) — used by every experiment to score final allocations with
+/// an estimator independent of the one that selected the seeds.
+AllocationEvaluation EvaluateAllocation(const RmInstance& instance,
+                                        const Allocation& allocation,
+                                        SpreadOracle& oracle);
+
+}  // namespace isa::core
+
+#endif  // ISA_CORE_SPREAD_ORACLE_H_

@@ -1,0 +1,136 @@
+// TI-CARM and TI-CSRM (paper §4.2, Algorithm 2) and the PageRank baselines
+// of §5, unified in one scalable driver.
+//
+// The driver follows Algorithm 2: every advertiser j keeps its own RR-set
+// collection R_j (sampled under its Eq.-1 probabilities) with sample size
+// θ_j = L(s̃_j, ε) (Eq. 8), where the latent seed-set size s̃_j starts at 1
+// and is revised by Eq. 10 whenever |S_j| reaches it; newly drawn RR sets
+// are folded into the running spread estimates (Algorithm 3). Each round,
+// a candidate node is chosen per advertiser (line 7) and one (node,
+// advertiser) pair is committed (line 9):
+//
+//   algorithm      candidate rule (line 7)             selection rule (line 9)
+//   TI-CARM        argmax coverage        (Alg. 4)     max marginal revenue
+//   TI-CSRM        argmax coverage/cost   (Alg. 5,     max marginal-revenue /
+//                  over a top-w coverage window)         marginal-payment rate
+//   PageRank-GR    next in ad-specific PageRank order  max marginal revenue
+//   PageRank-RR    next in ad-specific PageRank order  round-robin over ads
+//
+// Performance notes (beyond the pseudocode, behaviour-preserving):
+//   - per-ad lazy max-heaps over coverage: valid because coverage only
+//     decreases between sample growths; heaps are rebuilt when a sample
+//     grows;
+//   - per-ad candidate caching: ad j's candidate can only change when j
+//     received a seed, j's sample grew, or the cached node was taken by
+//     another ad / found infeasible — so most rounds recompute one ad.
+
+#ifndef ISA_CORE_TI_GREEDY_H_
+#define ISA_CORE_TI_GREEDY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/problem.h"
+#include "rrset/sample_sizer.h"
+
+namespace isa::core {
+
+/// Line-7 rule: how each advertiser proposes its next candidate node.
+enum class CandidateRule {
+  kCoverage,           // Algorithm 4 (cost-agnostic)
+  kCoverageCostRatio,  // Algorithm 5 (cost-sensitive), window-restricted
+  kPageRank,           // baseline: ad-specific PageRank order
+};
+
+/// Line-9 rule: how the winning (node, advertiser) pair is committed.
+enum class SelectionRule {
+  kMaxMarginalRevenue,  // TI-CARM, PageRank-GR
+  kMaxRate,             // TI-CSRM: marginal revenue per marginal payment
+  kRoundRobin,          // PageRank-RR
+};
+
+struct TiOptions {
+  CandidateRule candidate_rule = CandidateRule::kCoverageCostRatio;
+  SelectionRule selection_rule = SelectionRule::kMaxRate;
+  /// ε of Eq. 8 (0.1 in the paper's quality runs, 0.3 in scalability runs).
+  double epsilon = 0.1;
+  /// ℓ of Eq. 8 (failure probability n^-ℓ).
+  double ell = 1.0;
+  /// TI-CSRM window size w (paper Fig. 4): the cost-sensitive candidate is
+  /// chosen among the w nodes of highest marginal coverage. 0 means full
+  /// window (w = n). With w = 1 the candidate rule degenerates to TI-CARM's.
+  uint32_t window = 0;
+  /// Master seed; all per-ad samplers derive substreams from it.
+  uint64_t seed = 42;
+  /// Upper bound on θ per advertiser. Eq. 8 with small ε on large graphs can
+  /// demand tens of millions of RR sets (the paper's runs used a 264 GB
+  /// server); this valve keeps laptop-scale runs bounded while preserving
+  /// the estimator (a smaller sample only loosens the accuracy guarantee).
+  uint64_t theta_cap = 2'000'000;
+  /// Run the KPT pilot for the OPT_s lower bound (recommended); when off,
+  /// OPT_s >= s is the only bound and θ is much larger.
+  bool kpt_pilot = true;
+  /// Propagation model the RR sets are drawn under. The paper uses TIC
+  /// (topic-aware IC); Linear Threshold is supported because RR-set theory
+  /// covers all triggering models — under LT the arc values are interpreted
+  /// as LT weights (Σ in-weights ≤ 1; weighted-cascade satisfies this).
+  rrset::DiffusionModel propagation =
+      rrset::DiffusionModel::kIndependentCascade;
+  /// Share one physical RR sample among advertisers with identical Eq. 1
+  /// probabilities (pure-competition ads). Each advertiser keeps its own
+  /// θ_j, covered flags and coverage counts, so allocations are unchanged
+  /// in distribution; only the memory footprint drops (our answer to the
+  /// paper's open problem (i) on TI-CSRM memory). Off by default — the
+  /// paper's Algorithm 2 keeps one sample per advertiser.
+  bool share_samples = false;
+  /// Safety cap on total selected seeds (0 = unlimited).
+  uint64_t max_seeds = 0;
+  /// Nodes that may not be selected as seeds for any ad (e.g. users who
+  /// already engaged in an earlier stage of an adaptive campaign).
+  std::vector<graph::NodeId> excluded_nodes;
+  /// When non-empty (one entry per advertiser), replaces the instance's
+  /// budgets for this run — adaptive campaigns pass the remaining budget
+  /// per stage without rebuilding the instance.
+  std::vector<double> budget_override;
+};
+
+/// Per-advertiser diagnostics of a TI run.
+struct TiAdStats {
+  uint64_t theta = 0;          // final |R_j|
+  uint64_t latent_seed_size = 0;  // final s̃_j
+  uint64_t seeds = 0;          // |S_j|
+  double revenue = 0.0;        // π_j(S_j) (RR estimate)
+  double seeding_cost = 0.0;   // c_j(S_j)
+  double payment = 0.0;        // ρ_j(S_j)
+  uint64_t rr_memory_bytes = 0;
+  uint64_t sample_growth_events = 0;
+};
+
+struct TiResult {
+  Allocation allocation;
+  std::vector<TiAdStats> ad_stats;
+  double total_revenue = 0.0;      // Σ_j π_j, RR estimate
+  double total_seeding_cost = 0.0;
+  uint64_t total_seeds = 0;
+  uint64_t total_theta = 0;
+  uint64_t total_rr_memory_bytes = 0;
+  double elapsed_seconds = 0.0;
+};
+
+/// Runs the TI driver on `instance` with the given rules. Deterministic in
+/// options.seed.
+Result<TiResult> RunTiGreedy(const RmInstance& instance,
+                             const TiOptions& options);
+
+/// Convenience wrappers matching the paper's algorithm names.
+Result<TiResult> RunTiCarm(const RmInstance& instance, TiOptions options = {});
+Result<TiResult> RunTiCsrm(const RmInstance& instance, TiOptions options = {});
+Result<TiResult> RunPageRankGr(const RmInstance& instance,
+                               TiOptions options = {});
+Result<TiResult> RunPageRankRr(const RmInstance& instance,
+                               TiOptions options = {});
+
+}  // namespace isa::core
+
+#endif  // ISA_CORE_TI_GREEDY_H_

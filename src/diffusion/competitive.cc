@@ -1,0 +1,105 @@
+#include "diffusion/competitive.h"
+
+#include "common/strings.h"
+
+namespace isa::diffusion {
+
+Result<CompetitiveOutcome> RunCompetitiveCascade(
+    const graph::Graph& g,
+    std::span<const std::span<const double>> ad_probs,
+    std::span<const std::vector<graph::NodeId>> seed_sets, Rng& rng) {
+  const size_t h = ad_probs.size();
+  if (seed_sets.size() != h) {
+    return Status::InvalidArgument(
+        StrFormat("RunCompetitiveCascade: %zu seed sets for %zu ads",
+                  seed_sets.size(), h));
+  }
+  for (size_t i = 0; i < h; ++i) {
+    if (ad_probs[i].size() != g.num_edges()) {
+      return Status::InvalidArgument(
+          "RunCompetitiveCascade: probability view size mismatch");
+    }
+  }
+
+  constexpr uint32_t kUnclaimed = UINT32_MAX;
+  std::vector<uint32_t> owner(g.num_nodes(), kUnclaimed);
+  // Current round's frontier as (node, ad) pairs.
+  std::vector<std::pair<graph::NodeId, uint32_t>> frontier, next;
+  // Same-round contenders per node: (node, candidate ad) claims.
+  std::vector<std::pair<graph::NodeId, uint32_t>> claims;
+
+  CompetitiveOutcome outcome;
+  outcome.engagements.assign(h, 0);
+  for (size_t i = 0; i < h; ++i) {
+    for (graph::NodeId s : seed_sets[i]) {
+      if (s >= g.num_nodes()) {
+        return Status::InvalidArgument("RunCompetitiveCascade: bad seed id");
+      }
+      if (owner[s] == kUnclaimed) {
+        owner[s] = static_cast<uint32_t>(i);
+        frontier.emplace_back(s, static_cast<uint32_t>(i));
+        ++outcome.engagements[i];
+        ++outcome.total;
+      }
+    }
+  }
+
+  while (!frontier.empty()) {
+    claims.clear();
+    for (const auto& [u, ad] : frontier) {
+      const graph::EdgeId begin = g.OutEdgeBegin(u);
+      auto neighbors = g.OutNeighbors(u);
+      for (size_t k = 0; k < neighbors.size(); ++k) {
+        const graph::NodeId v = neighbors[k];
+        if (owner[v] != kUnclaimed) continue;
+        if (rng.NextBernoulli(ad_probs[ad][begin + k])) {
+          claims.emplace_back(v, ad);
+        }
+      }
+    }
+    // Resolve same-round conflicts: reservoir-sample uniformly among the
+    // contending ads per node.
+    next.clear();
+    std::vector<uint32_t> contenders(g.num_nodes(), 0);
+    std::vector<uint32_t> winner(g.num_nodes(), kUnclaimed);
+    for (const auto& [v, ad] : claims) {
+      ++contenders[v];
+      if (rng.NextBounded(contenders[v]) == 0) winner[v] = ad;
+    }
+    for (const auto& [v, ad] : claims) {
+      (void)ad;
+      if (owner[v] != kUnclaimed) continue;  // already handled this round
+      if (winner[v] == kUnclaimed) continue;
+      owner[v] = winner[v];
+      next.emplace_back(v, winner[v]);
+      ++outcome.engagements[winner[v]];
+      ++outcome.total;
+    }
+    frontier.swap(next);
+  }
+  return outcome;
+}
+
+Result<std::vector<double>> EstimateCompetitiveEngagements(
+    const graph::Graph& g,
+    std::span<const std::span<const double>> ad_probs,
+    std::span<const std::vector<graph::NodeId>> seed_sets, uint32_t runs,
+    uint64_t seed) {
+  if (runs == 0) {
+    return Status::InvalidArgument(
+        "EstimateCompetitiveEngagements: runs == 0");
+  }
+  std::vector<double> mean(ad_probs.size(), 0.0);
+  Rng rng(seed);
+  for (uint32_t r = 0; r < runs; ++r) {
+    auto outcome = RunCompetitiveCascade(g, ad_probs, seed_sets, rng);
+    if (!outcome.ok()) return outcome.status();
+    for (size_t i = 0; i < mean.size(); ++i) {
+      mean[i] += outcome.value().engagements[i];
+    }
+  }
+  for (double& m : mean) m /= runs;
+  return mean;
+}
+
+}  // namespace isa::diffusion

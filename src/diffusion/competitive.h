@@ -1,0 +1,57 @@
+// Hard-competition multi-ad cascade (paper §7, future work (iii)).
+//
+// The RM model propagates each ad independently: a user may engage with
+// several ads in the window. Under *hard* competition every user engages
+// with at most one ad — whichever reaches them first. This module simulates
+// that process for a full allocation:
+//
+//   - round-synchronous: all arcs out of the nodes activated in round t are
+//     tried in round t+1, each ad using its own Eq. 1 probabilities;
+//   - a node claimed by ad i never engages with another ad;
+//   - when several ads succeed on the same node in the same round, the
+//     winner is drawn uniformly among them (the natural symmetric rule; the
+//     paper does not prescribe one).
+//
+// Comparing the competitive engagement counts with the independent σ_i(S_i)
+// estimates quantifies how much the independence assumption overcounts
+// engagements in a pure-competition marketplace (bench_ablation_competition).
+
+#ifndef ISA_DIFFUSION_COMPETITIVE_H_
+#define ISA_DIFFUSION_COMPETITIVE_H_
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace isa::diffusion {
+
+/// Per-ad engagement counts of one competitive cascade.
+struct CompetitiveOutcome {
+  /// engagements[i] = nodes that engaged with ad i (including its seeds).
+  std::vector<uint32_t> engagements;
+  /// Total engaged nodes (= Σ engagements, every node claims once).
+  uint32_t total = 0;
+};
+
+/// Runs one hard-competition cascade. `ad_probs[i]` is ad i's arc
+/// probability view (indexed by forward EdgeId); `seed_sets[i]` its seeds.
+/// Seed sets must be pairwise disjoint (allocation invariant); a node
+/// appearing in two sets is claimed by the lower-indexed ad.
+Result<CompetitiveOutcome> RunCompetitiveCascade(
+    const graph::Graph& g,
+    std::span<const std::span<const double>> ad_probs,
+    std::span<const std::vector<graph::NodeId>> seed_sets, Rng& rng);
+
+/// Mean per-ad engagements over `runs` cascades (fresh Rng(seed)).
+Result<std::vector<double>> EstimateCompetitiveEngagements(
+    const graph::Graph& g,
+    std::span<const std::span<const double>> ad_probs,
+    std::span<const std::vector<graph::NodeId>> seed_sets, uint32_t runs,
+    uint64_t seed);
+
+}  // namespace isa::diffusion
+
+#endif  // ISA_DIFFUSION_COMPETITIVE_H_

@@ -1,0 +1,75 @@
+#include "diffusion/exact.h"
+
+#include <vector>
+
+#include "common/strings.h"
+
+namespace isa::diffusion {
+
+Result<double> ExactSpread(const graph::Graph& g,
+                           std::span<const double> probs,
+                           std::span<const graph::NodeId> seeds) {
+  const uint32_t m = g.num_edges();
+  if (m > kMaxExactEdges) {
+    return Status::OutOfRange(
+        StrFormat("ExactSpread: %u edges exceeds limit %u", m,
+                  kMaxExactEdges));
+  }
+  if (seeds.empty()) return 0.0;
+
+  // Skip arcs with p == 0 or p == 1 in the enumeration to shrink the world
+  // count: deterministic arcs contribute no branching.
+  std::vector<uint32_t> random_edges;
+  for (uint32_t e = 0; e < m; ++e) {
+    if (probs[e] > 0.0 && probs[e] < 1.0) random_edges.push_back(e);
+  }
+  const uint32_t k = static_cast<uint32_t>(random_edges.size());
+
+  std::vector<uint8_t> live(m, 0);
+  for (uint32_t e = 0; e < m; ++e) live[e] = probs[e] >= 1.0 ? 1 : 0;
+
+  std::vector<uint8_t> visited(g.num_nodes());
+  std::vector<graph::NodeId> stack;
+  double expected = 0.0;
+
+  const uint64_t worlds = 1ULL << k;
+  for (uint64_t mask = 0; mask < worlds; ++mask) {
+    double weight = 1.0;
+    for (uint32_t j = 0; j < k; ++j) {
+      const uint32_t e = random_edges[j];
+      const bool on = (mask >> j) & 1;
+      live[e] = on;
+      weight *= on ? probs[e] : (1.0 - probs[e]);
+    }
+    // Reachability from seeds over live arcs.
+    std::fill(visited.begin(), visited.end(), 0);
+    stack.clear();
+    uint32_t reached = 0;
+    for (graph::NodeId s : seeds) {
+      if (!visited[s]) {
+        visited[s] = 1;
+        stack.push_back(s);
+        ++reached;
+      }
+    }
+    while (!stack.empty()) {
+      const graph::NodeId u = stack.back();
+      stack.pop_back();
+      const graph::EdgeId begin = g.OutEdgeBegin(u);
+      auto neighbors = g.OutNeighbors(u);
+      for (size_t idx = 0; idx < neighbors.size(); ++idx) {
+        if (!live[begin + idx]) continue;
+        const graph::NodeId v = neighbors[idx];
+        if (!visited[v]) {
+          visited[v] = 1;
+          stack.push_back(v);
+          ++reached;
+        }
+      }
+    }
+    expected += weight * reached;
+  }
+  return expected;
+}
+
+}  // namespace isa::diffusion

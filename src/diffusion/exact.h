@@ -1,0 +1,30 @@
+// Exact influence spread by possible-world enumeration.
+//
+// Under IC/TIC, the spread σ(S) is the expectation over 2^m deterministic
+// "possible worlds" (each arc independently live or blocked) of the number
+// of nodes reachable from S. Enumerating all worlds is exponential in m and
+// only viable for gadget-sized graphs — this is the ground truth our tests
+// and the brute-force optimal RM solver compare against.
+
+#ifndef ISA_DIFFUSION_EXACT_H_
+#define ISA_DIFFUSION_EXACT_H_
+
+#include <span>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace isa::diffusion {
+
+/// Maximum edge count ExactSpread will enumerate (2^25 worlds ≈ 33M BFS).
+inline constexpr uint32_t kMaxExactEdges = 25;
+
+/// Exact σ(S) under arc probabilities `probs`. Fails with OutOfRange if the
+/// graph has more than kMaxExactEdges arcs.
+Result<double> ExactSpread(const graph::Graph& g,
+                           std::span<const double> probs,
+                           std::span<const graph::NodeId> seeds);
+
+}  // namespace isa::diffusion
+
+#endif  // ISA_DIFFUSION_EXACT_H_

@@ -1,0 +1,66 @@
+// Linear Threshold (LT) diffusion (Kempe et al. 2003).
+//
+// Each arc (u, v) carries an influence weight b_{u,v} with
+// Σ_u b_{u,v} ≤ 1 per node v. Every node draws a threshold θ_v ~ U(0, 1);
+// v activates once the total weight of its active in-neighbors reaches
+// θ_v. The weighted-cascade weights (1 / indeg(v)) satisfy the constraint
+// with equality, so every WC instance in this library doubles as a valid
+// LT instance.
+//
+// The RM problem and the TI algorithms are propagation-model-agnostic
+// given RR sets (LT is a triggering model); this module provides the
+// forward simulator and an exact live-edge enumerator used to validate the
+// LT mode of rrset::RrSampler.
+
+#ifndef ISA_DIFFUSION_LINEAR_THRESHOLD_H_
+#define ISA_DIFFUSION_LINEAR_THRESHOLD_H_
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace isa::diffusion {
+
+/// Verifies that in-weights sum to at most 1 (+slack) at every node.
+Status ValidateLtWeights(const graph::Graph& g,
+                         std::span<const double> weights,
+                         double slack = 1e-9);
+
+/// Forward LT cascade simulator (threshold formulation). Reusable across
+/// runs; not thread-safe.
+class LtCascadeSimulator {
+ public:
+  explicit LtCascadeSimulator(const graph::Graph& g);
+
+  /// Runs one cascade; returns the number of activated nodes.
+  uint32_t RunOnce(std::span<const double> weights,
+                   std::span<const graph::NodeId> seeds, Rng& rng);
+
+  /// Mean activated count over `runs` cascades with a fresh Rng(seed).
+  double EstimateSpread(std::span<const double> weights,
+                        std::span<const graph::NodeId> seeds, uint32_t runs,
+                        uint64_t seed);
+
+ private:
+  const graph::Graph& g_;
+  std::vector<double> threshold_;
+  std::vector<double> accumulated_;
+  std::vector<uint32_t> state_epoch_;
+  std::vector<graph::NodeId> frontier_;
+  uint32_t epoch_ = 0;
+};
+
+/// Exact LT spread by live-edge enumeration: each node independently keeps
+/// at most one in-arc (arc k with probability b_k, none with the residual),
+/// and σ(S) is the expected reachability over all such configurations.
+/// Fails with OutOfRange when the configuration count exceeds ~2^22.
+Result<double> ExactLtSpread(const graph::Graph& g,
+                             std::span<const double> weights,
+                             std::span<const graph::NodeId> seeds);
+
+}  // namespace isa::diffusion
+
+#endif  // ISA_DIFFUSION_LINEAR_THRESHOLD_H_

@@ -1,0 +1,65 @@
+// Named dataset stand-ins for the paper's evaluation graphs.
+//
+// The paper evaluates on FLIXSTER (30K/425K, directed, TIC with L = 10
+// learned topics), EPINIONS (76K/509K, directed, weighted-cascade, L = 1),
+// DBLP (317K/1.05M undirected -> both directions), and LIVEJOURNAL
+// (4.8M/69M, directed, weighted-cascade). None of those datasets is
+// redistributable in this environment, so each is replaced by a synthetic
+// stand-in with matched directedness and heavy-tailed degrees (DESIGN.md §4):
+//
+//   FLIXSTER*     R-MAT, 32,768 nodes / ~425K arcs, L = 10 degree-scaled
+//                 random per-topic probabilities (stand-in for MLE-learned)
+//   EPINIONS*     power-law configuration model, 76K / ~509K arcs, WC, L = 1
+//   DBLP*         Barabási–Albert bidirectional, scaled to 100K nodes
+//                 (paper: 317K) so every bench fits a laptop budget, WC
+//   LIVEJOURNAL*  R-MAT, 262,144 nodes / ~3M arcs (paper: 4.8M/69M,
+//                 scaled ~18x), WC
+//
+// The `scale` parameter multiplies node/edge targets for quick runs
+// (tests use scale ≈ 0.05).
+
+#ifndef ISA_EVAL_DATASETS_H_
+#define ISA_EVAL_DATASETS_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "topic/tic_model.h"
+
+namespace isa::eval {
+
+enum class DatasetId {
+  kFlixster,
+  kEpinions,
+  kDblp,
+  kLiveJournal,
+};
+
+const char* DatasetName(DatasetId id);
+
+/// A materialized dataset: graph + per-topic arc probabilities.
+/// Held by unique_ptr so the graph's address stays stable for the
+/// RmInstance that references it.
+struct Dataset {
+  std::string name;
+  graph::Graph graph;
+  topic::TopicEdgeProbabilities topics;
+  uint32_t num_topics = 1;
+};
+
+/// Builds the stand-in deterministically from `seed`. `scale` in (0, 1]
+/// shrinks node/edge targets proportionally.
+Result<std::unique_ptr<Dataset>> BuildDataset(DatasetId id,
+                                              double scale = 1.0,
+                                              uint64_t seed = 2017);
+
+/// Reads the ISA_BENCH_SCALE environment variable (default 1.0, clamped to
+/// [0.01, 1.0]) — lets `for b in build/bench/*; do $b; done` be resized
+/// without rebuilding.
+double BenchScaleFromEnv();
+
+}  // namespace isa::eval
+
+#endif  // ISA_EVAL_DATASETS_H_

@@ -1,0 +1,85 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace isa::graph {
+
+Result<Graph> Graph::FromEdges(NodeId num_nodes, std::vector<Edge> edges) {
+  for (const Edge& e : edges) {
+    if (e.src >= num_nodes || e.dst >= num_nodes) {
+      return Status::InvalidArgument(
+          StrFormat("edge (%u,%u) out of range for %u nodes", e.src, e.dst,
+                    num_nodes));
+    }
+  }
+
+  Graph g;
+  g.num_nodes_ = num_nodes;
+
+  // Drop self-loops, then sort + dedupe. Sorting by (src, dst) gives the
+  // canonical forward EdgeId order.
+  uint64_t self_loops = 0;
+  std::erase_if(edges, [&](const Edge& e) {
+    if (e.src == e.dst) {
+      ++self_loops;
+      return true;
+    }
+    return false;
+  });
+  g.dropped_self_loops_ = self_loops;
+
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  size_t before = edges.size();
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  g.dropped_duplicates_ = before - edges.size();
+
+  const size_t m = edges.size();
+  if (m > static_cast<size_t>(UINT32_MAX)) {
+    return Status::OutOfRange("more than 2^32-1 edges");
+  }
+
+  g.out_offsets_.assign(num_nodes + 1, 0);
+  g.out_targets_.resize(m);
+  for (const Edge& e : edges) ++g.out_offsets_[e.src + 1];
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    g.out_offsets_[u + 1] += g.out_offsets_[u];
+  }
+  for (size_t i = 0; i < m; ++i) g.out_targets_[i] = edges[i].dst;
+
+  // Transpose with forward EdgeId back-references, built by counting sort so
+  // in-neighbors of each node come out sorted by source id.
+  g.in_offsets_.assign(num_nodes + 1, 0);
+  g.in_sources_.resize(m);
+  g.in_edge_ids_.resize(m);
+  for (const Edge& e : edges) ++g.in_offsets_[e.dst + 1];
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+  std::vector<EdgeId> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+  for (size_t i = 0; i < m; ++i) {
+    const NodeId dst = edges[i].dst;
+    const EdgeId slot = cursor[dst]++;
+    g.in_sources_[slot] = edges[i].src;
+    g.in_edge_ids_[slot] = static_cast<EdgeId>(i);
+  }
+
+  return g;
+}
+
+NodeId Graph::EdgeSrc(EdgeId e) const {
+  // Find u with out_offsets_[u] <= e < out_offsets_[u+1].
+  auto it = std::upper_bound(out_offsets_.begin(), out_offsets_.end(), e);
+  return static_cast<NodeId>((it - out_offsets_.begin()) - 1);
+}
+
+uint64_t Graph::MemoryBytes() const {
+  return sizeof(EdgeId) * (out_offsets_.capacity() + in_offsets_.capacity() +
+                           in_edge_ids_.capacity()) +
+         sizeof(NodeId) * (out_targets_.capacity() + in_sources_.capacity());
+}
+
+}  // namespace isa::graph

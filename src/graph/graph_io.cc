@@ -1,0 +1,93 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace isa::graph {
+
+namespace {
+constexpr uint32_t kBinaryMagic = 0x49534147;  // "ISAG"
+}  // namespace
+
+Result<Graph> LoadEdgeListText(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IOError("cannot open: " + path);
+
+  std::vector<Edge> edges;
+  std::unordered_map<uint64_t, NodeId> remap;
+  auto intern = [&](uint64_t raw) {
+    auto [it, inserted] =
+        remap.try_emplace(raw, static_cast<NodeId>(remap.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(f, line)) {
+    ++lineno;
+    std::string_view sv = Trim(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    std::istringstream ss{std::string(sv)};
+    uint64_t a, b;
+    if (!(ss >> a >> b)) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: expected 'src dst'", path.c_str(), lineno));
+    }
+    edges.push_back(Edge{intern(a), intern(b)});
+  }
+  return Graph::FromEdges(static_cast<NodeId>(remap.size()),
+                          std::move(edges));
+}
+
+Status SaveEdgeListText(const Graph& g, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  f << "# isa edge list: " << g.num_nodes() << " nodes, " << g.num_edges()
+    << " edges\n";
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) f << u << ' ' << v << '\n';
+  }
+  if (!f) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status SaveBinary(const Graph& g, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  uint32_t header[3] = {kBinaryMagic, g.num_nodes(), g.num_edges()};
+  f.write(reinterpret_cast<const char*>(header), sizeof(header));
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      uint32_t pair[2] = {u, v};
+      f.write(reinterpret_cast<const char*>(pair), sizeof(pair));
+    }
+  }
+  if (!f) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Graph> LoadBinary(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IOError("cannot open: " + path);
+  uint32_t header[3];
+  f.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (!f || header[0] != kBinaryMagic) {
+    return Status::InvalidArgument("not an isa binary graph: " + path);
+  }
+  const uint32_t n = header[1], m = header[2];
+  std::vector<Edge> edges(m);
+  for (uint32_t i = 0; i < m; ++i) {
+    uint32_t pair[2];
+    f.read(reinterpret_cast<char*>(pair), sizeof(pair));
+    if (!f) return Status::IOError("truncated binary graph: " + path);
+    edges[i] = Edge{pair[0], pair[1]};
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+}  // namespace isa::graph

@@ -1,0 +1,28 @@
+// Edge-list I/O: whitespace-separated text (SNAP style, '#' comments) and a
+// compact binary format for cached synthetic datasets.
+
+#ifndef ISA_GRAPH_GRAPH_IO_H_
+#define ISA_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace isa::graph {
+
+/// Loads a SNAP-style text edge list: one "src dst" pair per line,
+/// lines starting with '#' ignored. Node ids need not be contiguous; they
+/// are compacted to [0, n) preserving first-appearance order.
+Result<Graph> LoadEdgeListText(const std::string& path);
+
+/// Writes "src dst" per line with a header comment.
+Status SaveEdgeListText(const Graph& g, const std::string& path);
+
+/// Binary round-trip: magic, node/edge counts, forward edge array.
+Status SaveBinary(const Graph& g, const std::string& path);
+Result<Graph> LoadBinary(const std::string& path);
+
+}  // namespace isa::graph
+
+#endif  // ISA_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,98 @@
+#include "graph/pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace isa::graph {
+
+namespace {
+
+Result<std::vector<double>> RunPageRank(
+    const Graph& g, const std::vector<double>* edge_weight,
+    const PageRankOptions& options) {
+  const NodeId n = g.num_nodes();
+  if (n == 0) return std::vector<double>{};
+  if (options.damping < 0.0 || options.damping >= 1.0) {
+    return Status::InvalidArgument("PageRank: damping must be in [0,1)");
+  }
+
+  // Per-node total out-weight (out-degree in the uniform case).
+  std::vector<double> out_weight(n, 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    if (edge_weight == nullptr) {
+      out_weight[u] = static_cast<double>(g.OutDegree(u));
+    } else {
+      for (EdgeId e = g.OutEdgeBegin(u); e < g.OutEdgeEnd(u); ++e) {
+        const double w = (*edge_weight)[e];
+        if (w < 0.0) {
+          return Status::InvalidArgument("PageRank: negative edge weight");
+        }
+        out_weight[u] += w;
+      }
+    }
+  }
+
+  std::vector<double> score(n, 1.0 / n), next(n, 0.0);
+  const double base = (1.0 - options.damping) / n;
+  for (uint32_t iter = 0; iter < options.max_iterations; ++iter) {
+    double dangling = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (out_weight[u] <= 0.0) dangling += score[u];
+    }
+    std::fill(next.begin(), next.end(),
+              base + options.damping * dangling / n);
+    // Pull formulation over the transpose: each v accumulates from its
+    // in-neighbors, using the forward EdgeId to find the arc weight.
+    for (NodeId v = 0; v < n; ++v) {
+      auto sources = g.InNeighbors(v);
+      auto eids = g.InEdgeIds(v);
+      double acc = 0.0;
+      for (size_t k = 0; k < sources.size(); ++k) {
+        const NodeId u = sources[k];
+        if (out_weight[u] <= 0.0) continue;
+        const double w =
+            edge_weight == nullptr ? 1.0 : (*edge_weight)[eids[k]];
+        acc += score[u] * w / out_weight[u];
+      }
+      next[v] += options.damping * acc;
+    }
+    double delta = 0.0;
+    for (NodeId u = 0; u < n; ++u) delta += std::abs(next[u] - score[u]);
+    score.swap(next);
+    if (delta < options.tolerance) break;
+  }
+  return score;
+}
+
+}  // namespace
+
+Result<std::vector<double>> PageRank(const Graph& g,
+                                     const PageRankOptions& options) {
+  return RunPageRank(g, nullptr, options);
+}
+
+Result<std::vector<double>> WeightedPageRank(
+    const Graph& g, std::span<const double> edge_weight,
+    const PageRankOptions& options) {
+  if (edge_weight.size() != g.num_edges()) {
+    return Status::InvalidArgument(
+        StrFormat("WeightedPageRank: %zu weights for %u edges",
+                  edge_weight.size(), g.num_edges()));
+  }
+  std::vector<double> weights(edge_weight.begin(), edge_weight.end());
+  return RunPageRank(g, &weights, options);
+}
+
+std::vector<NodeId> RankByScore(std::span<const double> scores) {
+  std::vector<NodeId> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return scores[a] != scores[b] ? scores[a] > scores[b] : a < b;
+  });
+  return order;
+}
+
+}  // namespace isa::graph

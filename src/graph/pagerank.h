@@ -1,0 +1,39 @@
+// PageRank, including the arc-weighted variant used by the paper's
+// PageRank-GR / PageRank-RR baselines ("ad-specific PageRank ordering"):
+// transition mass out of u is split across out-arcs proportionally to the
+// ad-specific influence probabilities p^i_{u,v}.
+
+#ifndef ISA_GRAPH_PAGERANK_H_
+#define ISA_GRAPH_PAGERANK_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace isa::graph {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  uint32_t max_iterations = 100;
+  double tolerance = 1e-8;  // L1 change per iteration to declare convergence
+};
+
+/// Uniform-weight PageRank. Dangling mass is redistributed uniformly.
+Result<std::vector<double>> PageRank(const Graph& g,
+                                     const PageRankOptions& options = {});
+
+/// Arc-weighted PageRank: `edge_weight[e]` (indexed by forward EdgeId) is
+/// the unnormalized transition weight of arc e. Arcs with zero total
+/// out-weight are treated as dangling. Weights must be non-negative.
+Result<std::vector<double>> WeightedPageRank(
+    const Graph& g, std::span<const double> edge_weight,
+    const PageRankOptions& options = {});
+
+/// Returns node ids sorted by descending score (ties by ascending id).
+std::vector<NodeId> RankByScore(std::span<const double> scores);
+
+}  // namespace isa::graph
+
+#endif  // ISA_GRAPH_PAGERANK_H_

@@ -1,0 +1,73 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace isa::graph {
+
+GraphStats ComputeStats(const Graph& g) {
+  GraphStats s;
+  s.num_nodes = g.num_nodes();
+  s.num_edges = g.num_edges();
+  if (g.num_nodes() == 0) return s;
+
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    s.max_out_degree = std::max(s.max_out_degree, g.OutDegree(u));
+    s.max_in_degree = std::max(s.max_in_degree, g.InDegree(u));
+    if (g.OutDegree(u) == 0 && g.InDegree(u) == 0) ++s.num_isolated;
+  }
+  s.avg_degree =
+      static_cast<double>(g.num_edges()) / static_cast<double>(g.num_nodes());
+
+  // Largest weakly connected component via BFS over union adjacency.
+  std::vector<uint8_t> visited(g.num_nodes(), 0);
+  std::vector<NodeId> queue;
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (visited[start]) continue;
+    queue.clear();
+    queue.push_back(start);
+    visited[start] = 1;
+    NodeId size = 0;
+    for (size_t head = 0; head < queue.size(); ++head) {
+      NodeId u = queue[head];
+      ++size;
+      for (NodeId v : g.OutNeighbors(u)) {
+        if (!visited[v]) {
+          visited[v] = 1;
+          queue.push_back(v);
+        }
+      }
+      for (NodeId v : g.InNeighbors(u)) {
+        if (!visited[v]) {
+          visited[v] = 1;
+          queue.push_back(v);
+        }
+      }
+    }
+    s.largest_wcc = std::max(s.largest_wcc, size);
+  }
+
+  // Bidirectionality check: every arc (u,v) has (v,u). Out-neighbor lists
+  // are sorted by construction, so binary search per arc.
+  s.looks_bidirectional = true;
+  for (NodeId u = 0; u < g.num_nodes() && s.looks_bidirectional; ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      auto nb = g.OutNeighbors(v);
+      if (!std::binary_search(nb.begin(), nb.end(), u)) {
+        s.looks_bidirectional = false;
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+std::vector<uint64_t> OutDegreeHistogram(const Graph& g, uint32_t max_degree) {
+  std::vector<uint64_t> hist(max_degree + 1, 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    ++hist[std::min(g.OutDegree(u), max_degree)];
+  }
+  return hist;
+}
+
+}  // namespace isa::graph

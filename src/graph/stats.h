@@ -1,0 +1,35 @@
+// Degree statistics and connectivity summaries (Table 1 of the paper).
+
+#ifndef ISA_GRAPH_STATS_H_
+#define ISA_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace isa::graph {
+
+/// Summary statistics of a graph, as reported by bench_table1_datasets.
+struct GraphStats {
+  NodeId num_nodes = 0;
+  EdgeId num_edges = 0;
+  uint32_t max_out_degree = 0;
+  uint32_t max_in_degree = 0;
+  double avg_degree = 0.0;       // m / n
+  NodeId num_isolated = 0;       // in-degree == out-degree == 0
+  NodeId largest_wcc = 0;        // nodes in the largest weakly connected comp.
+  bool looks_bidirectional = false;  // every arc has its reverse
+};
+
+/// Computes all fields of GraphStats (one WCC pass + degree scans).
+GraphStats ComputeStats(const Graph& g);
+
+/// Out-degree histogram: bucket[k] = #nodes with out-degree k (capped at
+/// `max_degree`, larger degrees land in the last bucket).
+std::vector<uint64_t> OutDegreeHistogram(const Graph& g, uint32_t max_degree);
+
+}  // namespace isa::graph
+
+#endif  // ISA_GRAPH_STATS_H_

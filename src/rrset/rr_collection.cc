@@ -1,0 +1,144 @@
+#include "rrset/rr_collection.h"
+
+#include <algorithm>
+
+namespace isa::rrset {
+
+// ---------------------------------------------------------------- RrStore
+
+RrStore::RrStore(graph::NodeId num_nodes)
+    : num_nodes_(num_nodes), rr_offsets_{0}, node_to_sets_(num_nodes) {}
+
+void RrStore::Sample(RrSampler& sampler, uint64_t count, Rng& rng) {
+  for (uint64_t i = 0; i < count; ++i) {
+    sampler.SampleInto(rng, &scratch_);
+    const uint32_t set_id = static_cast<uint32_t>(num_sets());
+    rr_nodes_.insert(rr_nodes_.end(), scratch_.begin(), scratch_.end());
+    rr_offsets_.push_back(rr_nodes_.size());
+    for (graph::NodeId v : scratch_) node_to_sets_[v].push_back(set_id);
+  }
+}
+
+double RrStore::MeanSetSize() const {
+  if (num_sets() == 0) return 0.0;
+  return static_cast<double>(rr_nodes_.size()) /
+         static_cast<double>(num_sets());
+}
+
+uint64_t RrStore::MemoryBytes() const {
+  uint64_t bytes = rr_offsets_.capacity() * sizeof(uint64_t) +
+                   rr_nodes_.capacity() * sizeof(graph::NodeId);
+  for (const auto& v : node_to_sets_) bytes += v.capacity() * sizeof(uint32_t);
+  return bytes;
+}
+
+// ------------------------------------------------------------ RrCollection
+
+RrCollection::RrCollection(graph::NodeId num_nodes)
+    : store_(std::make_shared<RrStore>(num_nodes)),
+      coverage_(num_nodes, 0) {}
+
+RrCollection::RrCollection(std::shared_ptr<RrStore> store)
+    : store_(std::move(store)), coverage_(store_->num_nodes(), 0) {}
+
+void RrCollection::AddSets(RrSampler& sampler, uint64_t count, Rng& rng,
+                           std::span<const graph::NodeId> current_seeds) {
+  const uint64_t target = theta_ + count;
+  if (store_->num_sets() < target) {
+    store_->Sample(sampler, target - store_->num_sets(), rng);
+  }
+  AdoptUpTo(target, current_seeds);
+}
+
+void RrCollection::AdoptUpTo(uint64_t new_theta,
+                             std::span<const graph::NodeId> current_seeds) {
+  const uint64_t first_new = theta_;
+  alive_.resize(new_theta, 1);
+  theta_ = new_theta;
+  // Index the newly adopted sets into the coverage counts.
+  for (uint64_t r = first_new; r < new_theta; ++r) {
+    for (graph::NodeId v : store_->SetMembers(r)) ++coverage_[v];
+  }
+  // Algorithm 3 (UpdateEstimates): newly adopted sets already containing a
+  // chosen seed count as covered immediately.
+  if (!current_seeds.empty()) {
+    std::vector<uint8_t> is_seed(store_->num_nodes(), 0);
+    for (graph::NodeId s : current_seeds) is_seed[s] = 1;
+    for (uint64_t r = first_new; r < new_theta; ++r) {
+      for (graph::NodeId v : store_->SetMembers(r)) {
+        if (is_seed[v]) {
+          alive_[r] = 0;
+          ++covered_count_;
+          for (graph::NodeId w : store_->SetMembers(r)) --coverage_[w];
+          break;
+        }
+      }
+    }
+  }
+}
+
+graph::NodeId RrCollection::ArgmaxCoverage(
+    std::span<const uint8_t> eligible) const {
+  // Ascending scan: ties resolve to the smallest node id.
+  graph::NodeId best = kInvalidNode;
+  uint32_t best_cov = 0;
+  const graph::NodeId n = store_->num_nodes();
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (!eligible[v]) continue;
+    if (coverage_[v] > best_cov) {
+      best = v;
+      best_cov = coverage_[v];
+    }
+  }
+  return best_cov == 0 ? kInvalidNode : best;
+}
+
+std::vector<graph::NodeId> RrCollection::TopCoverage(
+    uint32_t w, std::span<const uint8_t> eligible) const {
+  const graph::NodeId n = store_->num_nodes();
+  std::vector<graph::NodeId> candidates;
+  candidates.reserve(n / 4);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (eligible[v] && coverage_[v] > 0) candidates.push_back(v);
+  }
+  auto by_coverage = [&](graph::NodeId a, graph::NodeId b) {
+    return coverage_[a] != coverage_[b] ? coverage_[a] > coverage_[b]
+                                        : a < b;
+  };
+  if (candidates.size() > w) {
+    std::nth_element(candidates.begin(), candidates.begin() + w,
+                     candidates.end(), by_coverage);
+    candidates.resize(w);
+  }
+  std::sort(candidates.begin(), candidates.end(), by_coverage);
+  return candidates;
+}
+
+uint32_t RrCollection::RemoveCoveredBy(graph::NodeId v) {
+  uint32_t removed = 0;
+  for (uint32_t r : store_->SetsContaining(v)) {
+    if (r >= theta_) break;  // ids ascend; rest is beyond the adopted prefix
+    if (!alive_[r]) continue;
+    alive_[r] = 0;
+    ++covered_count_;
+    ++removed;
+    for (graph::NodeId w : store_->SetMembers(r)) --coverage_[w];
+  }
+  return removed;
+}
+
+double RrCollection::MaxCoverageFraction() const {
+  if (theta_ == 0) return 0.0;
+  uint32_t best = 0;
+  for (uint32_t c : coverage_) best = std::max(best, c);
+  return static_cast<double>(best) / static_cast<double>(theta_);
+}
+
+uint64_t RrCollection::MemoryBytes(bool include_store) const {
+  uint64_t bytes =
+      alive_.capacity() + coverage_.capacity() * sizeof(uint32_t);
+  if (include_store) bytes += store_->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace isa::rrset

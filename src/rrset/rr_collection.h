@@ -1,0 +1,158 @@
+// RR-set storage and the per-advertiser coverage state Algorithm 2 needs.
+//
+// Split into two layers:
+//
+//   RrStore       — immutable-once-appended flat storage of RR sets plus the
+//                   node -> set-ids inverted index. Sets are only appended.
+//   RrCollection  — one advertiser's *view* of a store: which prefix of the
+//                   sample it has adopted (θ_j), which sets its chosen seeds
+//                   already cover, and live marginal-coverage counts.
+//
+// A collection can own a private store (the paper's Algorithm 2: one sample
+// per advertiser) or share a store with other collections. Sharing
+// addresses the paper's open problem (i) — TI-CSRM's memory footprint — for
+// the pure-competition marketplaces of §5: ads with identical Eq. 1
+// probabilities draw from the same distribution of RR sets, so one physical
+// sample serves them all while each advertiser keeps its own θ_j, covered
+// flags and coverage counts. See TiOptions::share_samples.
+//
+// Maintenance operations (per view):
+//   - adopt newly sampled sets (latent seed-size growth, Alg. 2 line 19);
+//   - coverage counts cov(v) over *alive* adopted sets — covered sets are
+//     removed when a seed is chosen (line 14), so cov(v)/θ is exactly the
+//     marginal coverage F_R(v | S) given the already-chosen seeds;
+//   - removal of all sets covered by a newly selected seed (line 14);
+//   - running covered count, giving the spread estimate σ(S) ≈ n·covered/θ
+//     that UpdateEstimates (Algorithm 3) maintains when the sample grows.
+
+#ifndef ISA_RRSET_RR_COLLECTION_H_
+#define ISA_RRSET_RR_COLLECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "rrset/rr_sampler.h"
+
+namespace isa::rrset {
+
+/// Append-only flat storage of RR sets with an inverted index.
+class RrStore {
+ public:
+  explicit RrStore(graph::NodeId num_nodes);
+
+  /// Samples `count` additional RR sets via `sampler` and indexes them.
+  void Sample(RrSampler& sampler, uint64_t count, Rng& rng);
+
+  uint64_t num_sets() const { return rr_offsets_.size() - 1; }
+  graph::NodeId num_nodes() const { return num_nodes_; }
+
+  /// Members of set `r`.
+  std::span<const graph::NodeId> SetMembers(uint64_t r) const {
+    return {rr_nodes_.data() + rr_offsets_[r],
+            rr_nodes_.data() + rr_offsets_[r + 1]};
+  }
+
+  /// Ids of the sets containing `v`, in ascending order (sets are appended
+  /// in id order, so views can stop scanning at their adopted prefix).
+  std::span<const uint32_t> SetsContaining(graph::NodeId v) const {
+    return node_to_sets_[v];
+  }
+
+  /// Mean cardinality over all stored sets.
+  double MeanSetSize() const;
+
+  /// Heap footprint of the flat arrays + inverted index.
+  uint64_t MemoryBytes() const;
+
+ private:
+  graph::NodeId num_nodes_;
+  std::vector<uint64_t> rr_offsets_;      // num_sets() + 1
+  std::vector<graph::NodeId> rr_nodes_;   // concatenated members
+  std::vector<std::vector<uint32_t>> node_to_sets_;
+  std::vector<graph::NodeId> scratch_;
+};
+
+/// One advertiser's coverage view over (a prefix of) an RrStore.
+class RrCollection {
+ public:
+  /// Creates a view with its own private store.
+  explicit RrCollection(graph::NodeId num_nodes);
+  /// Creates a view over a shared store (may already contain sets; the
+  /// view adopts none of them until AddSets is called).
+  explicit RrCollection(std::shared_ptr<RrStore> store);
+
+  /// Grows this view's adopted prefix by `count` sets, sampling more into
+  /// the store if needed. Matching Algorithm 3's bookkeeping, any newly
+  /// adopted set containing one of `current_seeds` is marked covered
+  /// immediately so covered_fraction() stays the estimator of F_R(S) over
+  /// the enlarged sample.
+  void AddSets(RrSampler& sampler, uint64_t count, Rng& rng,
+               std::span<const graph::NodeId> current_seeds);
+
+  /// Number of alive (not yet covered) adopted sets containing v. Divided
+  /// by total_sets() this is the marginal coverage gain of v.
+  uint32_t CoverageOf(graph::NodeId v) const { return coverage_[v]; }
+
+  static constexpr graph::NodeId kInvalidNode = UINT32_MAX;
+  /// The node with maximum CoverageOf among nodes where eligible[v] != 0,
+  /// or kInvalidNode if every eligible coverage is zero.
+  graph::NodeId ArgmaxCoverage(std::span<const uint8_t> eligible) const;
+
+  /// Top-`w` eligible nodes by coverage (descending, ties by id). Used by
+  /// the TI-CSRM window-size restriction (paper §5, Fig. 4).
+  std::vector<graph::NodeId> TopCoverage(uint32_t w,
+                                         std::span<const uint8_t> eligible)
+      const;
+
+  /// Marks all alive adopted sets containing `v` covered and updates the
+  /// coverage counts of their members. Returns how many sets were newly
+  /// covered.
+  uint32_t RemoveCoveredBy(graph::NodeId v);
+
+  /// θ — sets adopted by this view.
+  uint64_t total_sets() const { return theta_; }
+  /// Adopted sets covered by the seeds chosen so far.
+  uint64_t covered_sets() const { return covered_count_; }
+  /// F_R(S): fraction of the adopted sample covered; σ(S) ≈ n · fraction.
+  double covered_fraction() const {
+    return theta_ == 0 ? 0.0
+                       : static_cast<double>(covered_count_) /
+                             static_cast<double>(theta_);
+  }
+  /// F^max_R = max_v cov(v)/θ, used by the latent seed-size rule (Eq. 10).
+  double MaxCoverageFraction() const;
+
+  /// Mean cardinality over the store's sets (diagnostics).
+  double MeanSetSize() const { return store_->MeanSetSize(); }
+
+  /// Heap footprint. With include_store, counts the backing store too —
+  /// callers sharing a store should count it once across views (see
+  /// RunTiGreedy's accounting) and use view-only bytes per advertiser.
+  uint64_t MemoryBytes(bool include_store = true) const;
+
+  const std::shared_ptr<RrStore>& store() const { return store_; }
+
+  /// Members of adopted set `r` and its alive flag (tests/diagnostics).
+  std::span<const graph::NodeId> SetMembers(uint64_t r) const {
+    return store_->SetMembers(r);
+  }
+  bool IsAlive(uint64_t r) const { return alive_[r] != 0; }
+
+ private:
+  void AdoptUpTo(uint64_t new_theta,
+                 std::span<const graph::NodeId> current_seeds);
+
+  std::shared_ptr<RrStore> store_;
+  uint64_t theta_ = 0;                 // adopted prefix length
+  std::vector<uint8_t> alive_;         // per adopted set
+  std::vector<uint32_t> coverage_;     // per node, over alive adopted sets
+  uint64_t covered_count_ = 0;
+};
+
+}  // namespace isa::rrset
+
+#endif  // ISA_RRSET_RR_COLLECTION_H_

@@ -1,0 +1,58 @@
+#include "rrset/rr_sampler.h"
+
+namespace isa::rrset {
+
+RrSampler::RrSampler(const graph::Graph& g, std::span<const double> probs,
+                     DiffusionModel model)
+    : g_(g), probs_(probs), model_(model),
+      visited_epoch_(g.num_nodes(), 0) {}
+
+graph::NodeId RrSampler::SampleInto(Rng& rng,
+                                    std::vector<graph::NodeId>* out) {
+  out->clear();
+  ++epoch_;
+  last_width_ = 0;
+  const graph::NodeId root =
+      static_cast<graph::NodeId>(rng.NextBounded(g_.num_nodes()));
+  visited_epoch_[root] = epoch_;
+  out->push_back(root);
+  // Reverse BFS over live in-arcs; the two models differ only in how a
+  // reached node's in-arcs are declared live.
+  for (size_t head = 0; head < out->size(); ++head) {
+    const graph::NodeId v = (*out)[head];
+    auto sources = g_.InNeighbors(v);
+    auto eids = g_.InEdgeIds(v);
+    last_width_ += sources.size();
+    if (model_ == DiffusionModel::kIndependentCascade) {
+      // IC: flip each in-arc (u -> v) independently.
+      for (size_t k = 0; k < sources.size(); ++k) {
+        const graph::NodeId u = sources[k];
+        if (visited_epoch_[u] == epoch_) continue;
+        if (rng.NextBernoulli(probs_[eids[k]])) {
+          visited_epoch_[u] = epoch_;
+          out->push_back(u);
+        }
+      }
+    } else {
+      // LT: v selects at most one in-arc; arc k with probability
+      // probs_[eids[k]], none with the residual mass.
+      if (sources.empty()) continue;
+      const double r = rng.NextDouble();
+      double acc = 0.0;
+      for (size_t k = 0; k < sources.size(); ++k) {
+        acc += probs_[eids[k]];
+        if (r < acc) {
+          const graph::NodeId u = sources[k];
+          if (visited_epoch_[u] != epoch_) {
+            visited_epoch_[u] = epoch_;
+            out->push_back(u);
+          }
+          break;
+        }
+      }
+    }
+  }
+  return root;
+}
+
+}  // namespace isa::rrset

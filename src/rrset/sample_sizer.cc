@@ -1,0 +1,85 @@
+#include "rrset/sample_sizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace isa::rrset {
+
+SampleSizer::SampleSizer(const graph::Graph& g, std::span<const double> probs,
+                         const SampleSizerOptions& options)
+    : options_(options), n_(g.num_nodes()), m_(g.num_edges()) {
+  if (options_.run_kpt_pilot && n_ > 1 && m_ > 0) RunPilot(g, probs);
+}
+
+void SampleSizer::RunPilot(const graph::Graph& g,
+                           std::span<const double> probs) {
+  // TIM Algorithm 2 doubling loop for k = 1: round i draws
+  // c_i = (6 ℓ ln n + 6 ln log2 n) · 2^i sets; if the mean of
+  // κ(R) = w(R)/m crosses 1/2^i, the sample is retained for KptFor().
+  RrSampler sampler(g, probs, options_.model);
+  Rng rng(HashSeed(options_.seed, 0x4b7));
+  std::vector<graph::NodeId> scratch;
+  const double log_n = std::log(static_cast<double>(n_));
+  const double log_log_n =
+      std::log(std::max(2.0, std::log2(static_cast<double>(n_))));
+  const uint32_t rounds = std::min<uint32_t>(
+      options_.max_pilot_rounds,
+      n_ > 2 ? static_cast<uint32_t>(std::log2(static_cast<double>(n_)))
+             : 1);
+
+  for (uint32_t i = 1; i <= rounds; ++i) {
+    const uint64_t ci = static_cast<uint64_t>(
+        std::ceil((6.0 * options_.ell * log_n + 6.0 * log_log_n) *
+                  std::pow(2.0, i)));
+    pilot_widths_.clear();
+    pilot_widths_.reserve(ci);
+    double kappa_sum = 0.0;
+    for (uint64_t j = 0; j < ci; ++j) {
+      sampler.SampleInto(rng, &scratch);
+      pilot_widths_.push_back(sampler.last_width());
+      kappa_sum += static_cast<double>(sampler.last_width()) /
+                   static_cast<double>(m_);
+    }
+    if (kappa_sum / static_cast<double>(ci) > 1.0 / std::pow(2.0, i)) {
+      return;  // converged; keep this round's widths
+    }
+  }
+  // No round crossed its threshold: keep the last (largest) sample anyway —
+  // KptFor still yields a valid lower bound, just a weak one.
+}
+
+double SampleSizer::KptFor(uint64_t s) const {
+  if (pilot_widths_.empty() || m_ == 0) return 0.0;
+  double sum = 0.0;
+  for (uint64_t w : pilot_widths_) {
+    const double frac =
+        std::min(1.0, static_cast<double>(w) / static_cast<double>(m_));
+    sum += 1.0 - std::pow(1.0 - frac, static_cast<double>(s));
+  }
+  return static_cast<double>(n_) * sum /
+         (2.0 * static_cast<double>(pilot_widths_.size()));
+}
+
+double SampleSizer::OptLowerBound(uint64_t s) const {
+  const double floor_bound = static_cast<double>(std::min<uint64_t>(s, n_));
+  return std::max(floor_bound, KptFor(s));
+}
+
+uint64_t SampleSizer::ThetaFor(uint64_t s) const {
+  if (n_ == 0) return 1;
+  s = std::clamp<uint64_t>(s, 1, n_);
+  const double eps = options_.epsilon;
+  const double numerator =
+      (8.0 + 2.0 * eps) * static_cast<double>(n_) *
+      (options_.ell * std::log(static_cast<double>(n_)) +
+       LogBinomial(n_, s) + std::log(2.0));
+  const double theta = numerator / (OptLowerBound(s) * eps * eps);
+  if (!(theta > 0.0)) return 1;
+  return std::min<uint64_t>(
+      options_.theta_cap,
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(theta))));
+}
+
+}  // namespace isa::rrset

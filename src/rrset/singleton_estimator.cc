@@ -1,0 +1,34 @@
+#include "rrset/singleton_estimator.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "rrset/rr_sampler.h"
+
+namespace isa::rrset {
+
+Result<std::vector<double>> EstimateAllSingletonSpreads(
+    const graph::Graph& g, std::span<const double> probs, uint64_t theta,
+    uint64_t seed) {
+  if (theta == 0) {
+    return Status::InvalidArgument("EstimateAllSingletonSpreads: theta == 0");
+  }
+  if (g.num_nodes() == 0) return std::vector<double>{};
+  RrSampler sampler(g, probs);
+  Rng rng(seed);
+  std::vector<uint64_t> count(g.num_nodes(), 0);
+  std::vector<graph::NodeId> scratch;
+  for (uint64_t r = 0; r < theta; ++r) {
+    sampler.SampleInto(rng, &scratch);
+    for (graph::NodeId v : scratch) ++count[v];
+  }
+  std::vector<double> out(g.num_nodes());
+  const double scale =
+      static_cast<double>(g.num_nodes()) / static_cast<double>(theta);
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    out[u] = std::max(1.0, static_cast<double>(count[u]) * scale);
+  }
+  return out;
+}
+
+}  // namespace isa::rrset

@@ -1,0 +1,28 @@
+// Batch estimation of all singleton spreads σ({u}) from one RR sample:
+// σ({u}) ≈ n · |{R : u ∈ R}| / θ, simultaneously for every node. This is
+// the scalable alternative to per-node Monte-Carlo when assigning seed
+// incentives c_i(u) = f(σ_i({u})) on large graphs (ablation vs. the
+// out-degree proxy the paper uses for DBLP / LIVEJOURNAL).
+
+#ifndef ISA_RRSET_SINGLETON_ESTIMATOR_H_
+#define ISA_RRSET_SINGLETON_ESTIMATOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace isa::rrset {
+
+/// Estimates σ({u}) for all u from `theta` fresh RR sets. Deterministic in
+/// `seed`. Returns one estimate per node, each >= 0 (a node absent from
+/// every sampled set gets max(1, estimate) = 1 since σ({u}) >= 1).
+Result<std::vector<double>> EstimateAllSingletonSpreads(
+    const graph::Graph& g, std::span<const double> probs, uint64_t theta,
+    uint64_t seed);
+
+}  // namespace isa::rrset
+
+#endif  // ISA_RRSET_SINGLETON_ESTIMATOR_H_

@@ -1,0 +1,88 @@
+#include "topic/topic_distribution.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace isa::topic {
+
+Result<TopicDistribution> TopicDistribution::Create(
+    std::vector<double> weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("TopicDistribution: empty weights");
+  }
+  double sum = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) {
+      return Status::InvalidArgument("TopicDistribution: negative weight");
+    }
+    sum += w;
+  }
+  if (std::abs(sum - 1.0) > 1e-6) {
+    return Status::InvalidArgument(
+        StrFormat("TopicDistribution: weights sum to %f, expected 1", sum));
+  }
+  return TopicDistribution(std::move(weights));
+}
+
+Result<TopicDistribution> TopicDistribution::Concentrated(uint32_t num_topics,
+                                                          uint32_t topic,
+                                                          double dominant) {
+  if (topic >= num_topics) {
+    return Status::InvalidArgument("Concentrated: topic out of range");
+  }
+  if (dominant <= 0.0 || dominant > 1.0) {
+    return Status::InvalidArgument("Concentrated: dominant must be in (0,1]");
+  }
+  if (num_topics == 1 && dominant != 1.0) {
+    return Status::InvalidArgument(
+        "Concentrated: single topic requires dominant == 1");
+  }
+  std::vector<double> w(num_topics,
+                        num_topics > 1
+                            ? (1.0 - dominant) / (num_topics - 1)
+                            : 0.0);
+  w[topic] = dominant;
+  return TopicDistribution(std::move(w));
+}
+
+TopicDistribution TopicDistribution::Uniform(uint32_t num_topics) {
+  return TopicDistribution(
+      std::vector<double>(num_topics, 1.0 / num_topics));
+}
+
+double TopicDistribution::CosineSimilarity(
+    const TopicDistribution& other) const {
+  if (num_topics() != other.num_topics()) return 0.0;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (uint32_t z = 0; z < num_topics(); ++z) {
+    dot += w_[z] * other.w_[z];
+    na += w_[z] * w_[z];
+    nb += other.w_[z] * other.w_[z];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+Result<std::vector<TopicDistribution>> MakePureCompetitionMarketplace(
+    uint32_t num_ads, uint32_t num_topics, double dominant) {
+  if (num_ads == 0) {
+    return Status::InvalidArgument("marketplace: need >= 1 ad");
+  }
+  const uint32_t num_pairs = (num_ads + 1) / 2;
+  if (num_topics < num_pairs) {
+    return Status::InvalidArgument(
+        StrFormat("marketplace: %u ads need >= %u topics, got %u", num_ads,
+                  num_pairs, num_topics));
+  }
+  std::vector<TopicDistribution> out;
+  out.reserve(num_ads);
+  for (uint32_t i = 0; i < num_ads; ++i) {
+    auto d = TopicDistribution::Concentrated(num_topics, i / 2, dominant);
+    if (!d.ok()) return d.status();
+    out.push_back(std::move(d).value());
+  }
+  return out;
+}
+
+}  // namespace isa::topic

@@ -1,0 +1,60 @@
+// Topic distributions over the latent topic space Z (paper §2).
+//
+// Each ad i is mapped to a distribution γ_i with γ^z_i = Pr(Z = z | i). The
+// host's propagation model mixes per-topic arc probabilities with γ_i
+// (Eq. 1) to obtain the ad-specific probabilities p^i_{u,v}.
+
+#ifndef ISA_TOPIC_TOPIC_DISTRIBUTION_H_
+#define ISA_TOPIC_TOPIC_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace isa::topic {
+
+/// A probability distribution over L latent topics.
+class TopicDistribution {
+ public:
+  TopicDistribution() = default;
+
+  /// Validates that `weights` is a probability vector (non-negative, sums to
+  /// 1 within 1e-6) and wraps it.
+  static Result<TopicDistribution> Create(std::vector<double> weights);
+
+  /// Point mass on `topic` with `dominant` mass, remainder spread uniformly
+  /// over the other topics. The paper's competition setup uses
+  /// dominant = 0.91 with L = 10 (0.91 + 9 * 0.01 = 1).
+  static Result<TopicDistribution> Concentrated(uint32_t num_topics,
+                                                uint32_t topic,
+                                                double dominant);
+
+  /// Uniform over `num_topics` topics.
+  static TopicDistribution Uniform(uint32_t num_topics);
+
+  uint32_t num_topics() const { return static_cast<uint32_t>(w_.size()); }
+  double weight(uint32_t z) const { return w_[z]; }
+  const std::vector<double>& weights() const { return w_; }
+
+  /// Cosine similarity with another distribution (competition proxy:
+  /// 1.0 for identical / "pure competition" ads).
+  double CosineSimilarity(const TopicDistribution& other) const;
+
+ private:
+  explicit TopicDistribution(std::vector<double> w) : w_(std::move(w)) {}
+  std::vector<double> w_;
+};
+
+/// Builds `num_ads` distributions over `num_topics` topics replicating the
+/// paper's marketplace (§5, FLIXSTER setup): ads are paired, each pair
+/// shares one concentrated distribution (mass `dominant` on its own topic),
+/// and distinct pairs use distinct topics — "every two ads are in pure
+/// competition with each other while having a completely different topic
+/// distribution than the rest". Requires num_topics >= ceil(num_ads / 2).
+Result<std::vector<TopicDistribution>> MakePureCompetitionMarketplace(
+    uint32_t num_ads, uint32_t num_topics, double dominant = 0.91);
+
+}  // namespace isa::topic
+
+#endif  // ISA_TOPIC_TOPIC_DISTRIBUTION_H_

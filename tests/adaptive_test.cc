@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "core/adaptive.h"
+#include "graph/generators.h"
+#include "tests/test_util.h"
+#include "topic/tic_model.h"
+
+namespace isa::core {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<graph::Graph> graph;
+  std::unique_ptr<topic::TopicEdgeProbabilities> topics;
+  std::unique_ptr<RmInstance> instance;
+};
+
+Fixture MakeFixture(uint32_t h, double budget) {
+  Fixture f;
+  auto g = graph::GenerateBarabasiAlbert(
+      {.num_nodes = 300, .edges_per_node = 3, .seed = 33});
+  ISA_CHECK(g.ok());
+  f.graph = std::make_unique<graph::Graph>(std::move(g).value());
+  auto topics = topic::MakeWeightedCascade(*f.graph, 1);
+  ISA_CHECK(topics.ok());
+  f.topics = std::make_unique<topic::TopicEdgeProbabilities>(
+      std::move(topics).value());
+  std::vector<double> cost(f.graph->num_nodes());
+  for (graph::NodeId u = 0; u < f.graph->num_nodes(); ++u) {
+    cost[u] = 0.1 * (1 + f.graph->OutDegree(u));
+  }
+  AdvertiserSpec ad;
+  ad.cpe = 1.0;
+  ad.budget = budget;
+  ad.gamma = topic::TopicDistribution::Uniform(1);
+  auto inst = RmInstance::Create(*f.graph, *f.topics,
+                                 std::vector<AdvertiserSpec>(h, ad),
+                                 std::vector<std::vector<double>>(h, cost));
+  ISA_CHECK(inst.ok());
+  f.instance = std::make_unique<RmInstance>(std::move(inst).value());
+  return f;
+}
+
+AdaptiveOptions FastOptions(uint32_t stages) {
+  AdaptiveOptions opt;
+  opt.stages = stages;
+  opt.ti.epsilon = 0.3;
+  opt.ti.theta_cap = 10'000;
+  opt.ti.seed = 21;
+  opt.realization_seed = 99;
+  return opt;
+}
+
+TEST(TiExclusionTest, ExcludedNodesNeverSeeded) {
+  auto f = MakeFixture(2, 25.0);
+  TiOptions ti;
+  ti.epsilon = 0.3;
+  ti.theta_cap = 10'000;
+  // Exclude the 20 highest-degree nodes (the natural seed picks).
+  std::vector<std::pair<uint32_t, graph::NodeId>> by_degree;
+  for (graph::NodeId u = 0; u < f.graph->num_nodes(); ++u) {
+    by_degree.push_back({f.graph->OutDegree(u), u});
+  }
+  std::sort(by_degree.rbegin(), by_degree.rend());
+  for (int i = 0; i < 20; ++i) ti.excluded_nodes.push_back(by_degree[i].second);
+  auto res = RunTiCsrm(*f.instance, ti);
+  ASSERT_TRUE(res.ok());
+  for (const auto& seeds : res.value().allocation.seed_sets) {
+    for (graph::NodeId s : seeds) {
+      EXPECT_EQ(std::count(ti.excluded_nodes.begin(),
+                           ti.excluded_nodes.end(), s),
+                0)
+          << "excluded node " << s << " was seeded";
+    }
+  }
+}
+
+TEST(TiBudgetOverrideTest, OverrideTightensSpend) {
+  auto f = MakeFixture(1, 50.0);
+  TiOptions ti;
+  ti.epsilon = 0.3;
+  ti.theta_cap = 10'000;
+  ti.budget_override = {10.0};
+  auto res = RunTiCarm(*f.instance, ti);
+  ASSERT_TRUE(res.ok());
+  EXPECT_LE(res.value().ad_stats[0].payment, 10.0 + 1e-6);
+  ti.budget_override = {10.0, 20.0};  // wrong arity
+  EXPECT_FALSE(RunTiCarm(*f.instance, ti).ok());
+}
+
+TEST(AdaptiveTest, SingleStageMatchesStaticSetting) {
+  auto f = MakeFixture(2, 30.0);
+  auto res = RunAdaptiveCampaign(*f.instance, FastOptions(1));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().stages.size(), 1u);
+  EXPECT_GT(res.value().total_revenue, 0.0);
+}
+
+TEST(AdaptiveTest, BudgetsNeverOverspent) {
+  auto f = MakeFixture(3, 25.0);
+  auto res = RunAdaptiveCampaign(*f.instance, FastOptions(4));
+  ASSERT_TRUE(res.ok());
+  for (uint32_t j = 0; j < 3; ++j) {
+    EXPECT_GE(res.value().remaining_budget[j], -1e-9);
+    double paid = 0.0;
+    for (const auto& stage : res.value().stages) {
+      paid += stage.realized_payment[j];
+    }
+    EXPECT_LE(paid, 25.0 + 1e-6);
+    EXPECT_NEAR(paid + res.value().remaining_budget[j], 25.0, 1e-6);
+  }
+}
+
+TEST(AdaptiveTest, EngagedUsersNeverReseeded) {
+  auto f = MakeFixture(2, 40.0);
+  auto res = RunAdaptiveCampaign(*f.instance, FastOptions(3));
+  ASSERT_TRUE(res.ok());
+  // Engaged-user count is consistent with per-stage realizations and never
+  // exceeds the graph size (each user engages at most once).
+  double total_engagements = 0.0;
+  for (const auto& stage : res.value().stages) {
+    for (double e : stage.realized_engagements) total_engagements += e;
+  }
+  EXPECT_DOUBLE_EQ(total_engagements,
+                   static_cast<double>(res.value().total_engaged_users));
+  EXPECT_LE(res.value().total_engaged_users,
+            uint64_t{f.graph->num_nodes()});
+}
+
+TEST(AdaptiveTest, DeterministicInSeeds) {
+  auto f = MakeFixture(2, 30.0);
+  auto a = RunAdaptiveCampaign(*f.instance, FastOptions(3));
+  auto b = RunAdaptiveCampaign(*f.instance, FastOptions(3));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a.value().total_revenue, b.value().total_revenue);
+  EXPECT_EQ(a.value().total_engaged_users, b.value().total_engaged_users);
+}
+
+TEST(AdaptiveTest, MoreStagesNeverLoseBudgetTracking) {
+  auto f = MakeFixture(2, 20.0);
+  for (uint32_t stages : {1u, 2u, 5u}) {
+    auto res = RunAdaptiveCampaign(*f.instance, FastOptions(stages));
+    ASSERT_TRUE(res.ok());
+    EXPECT_LE(res.value().stages.size(), stages);
+  }
+}
+
+TEST(AdaptiveTest, RejectsZeroStages) {
+  auto f = MakeFixture(1, 10.0);
+  EXPECT_FALSE(RunAdaptiveCampaign(*f.instance, FastOptions(0)).ok());
+}
+
+}  // namespace
+}  // namespace isa::core

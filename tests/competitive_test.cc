@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "diffusion/cascade.h"
+#include "diffusion/competitive.h"
+#include "tests/test_util.h"
+
+namespace isa::diffusion {
+namespace {
+
+using Probs = std::vector<double>;
+
+TEST(CompetitiveTest, SingleAdReducesToPlainCascade) {
+  auto g = test::MustGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  Probs p(g.num_edges(), 1.0);
+  std::span<const double> views[1] = {p};
+  std::vector<graph::NodeId> seeds[1] = {{0}};
+  Rng rng(3);
+  auto outcome = RunCompetitiveCascade(g, views, seeds, rng);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().engagements[0], 4u);
+  EXPECT_EQ(outcome.value().total, 4u);
+}
+
+TEST(CompetitiveTest, ClaimedNodesBlockOtherAds) {
+  // Two chains meeting at node 2: 0 -> 2 and 1 -> 2 with p = 1.
+  // Ad 0 seeds {0}, ad 1 seeds {1}; exactly one of them claims node 2.
+  auto g = test::MustGraph(3, {{0, 2}, {1, 2}});
+  Probs p(g.num_edges(), 1.0);
+  std::span<const double> views[2] = {p, p};
+  std::vector<graph::NodeId> seeds[2] = {{0}, {1}};
+  Rng rng(5);
+  for (int t = 0; t < 50; ++t) {
+    auto outcome = RunCompetitiveCascade(g, views, seeds, rng);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.value().total, 3u);
+    EXPECT_EQ(outcome.value().engagements[0] +
+                  outcome.value().engagements[1],
+              3u);
+    EXPECT_GE(outcome.value().engagements[0], 1u);  // at least its seed
+    EXPECT_GE(outcome.value().engagements[1], 1u);
+  }
+}
+
+TEST(CompetitiveTest, SameRoundConflictsSplitEvenly) {
+  auto g = test::MustGraph(3, {{0, 2}, {1, 2}});
+  Probs p(g.num_edges(), 1.0);
+  std::span<const double> views[2] = {p, p};
+  std::vector<graph::NodeId> seeds[2] = {{0}, {1}};
+  auto mean = EstimateCompetitiveEngagements(g, views, seeds, 40'000, 11);
+  ASSERT_TRUE(mean.ok());
+  // Node 2 goes to each ad ~half the time: engagements ~ 1.5 each.
+  EXPECT_NEAR(mean.value()[0], 1.5, 0.02);
+  EXPECT_NEAR(mean.value()[1], 1.5, 0.02);
+}
+
+TEST(CompetitiveTest, CompetitionNeverExceedsIndependentSpread) {
+  auto g = test::MustGraph(6, {{0, 2}, {2, 3}, {1, 3}, {3, 4}, {3, 5}});
+  Probs p(g.num_edges(), 0.7);
+  std::span<const double> views[2] = {p, p};
+  std::vector<graph::NodeId> seeds[2] = {{0}, {1}};
+  auto competitive =
+      EstimateCompetitiveEngagements(g, views, seeds, 30'000, 13);
+  ASSERT_TRUE(competitive.ok());
+  CascadeSimulator sim(g);
+  const double indep0 = sim.EstimateSpread(p, seeds[0], 30'000, 17);
+  const double indep1 = sim.EstimateSpread(p, seeds[1], 30'000, 19);
+  EXPECT_LE(competitive.value()[0], indep0 + 0.02);
+  EXPECT_LE(competitive.value()[1], indep1 + 0.02);
+  // And competition genuinely bites somewhere on this overlapping gadget.
+  EXPECT_LT(competitive.value()[0] + competitive.value()[1],
+            indep0 + indep1 - 0.05);
+}
+
+TEST(CompetitiveTest, DuplicateSeedGoesToLowerAd) {
+  auto g = test::MustGraph(2, {{0, 1}});
+  Probs p(g.num_edges(), 0.0);
+  std::span<const double> views[2] = {p, p};
+  std::vector<graph::NodeId> seeds[2] = {{0}, {0}};
+  Rng rng(7);
+  auto outcome = RunCompetitiveCascade(g, views, seeds, rng);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().engagements[0], 1u);
+  EXPECT_EQ(outcome.value().engagements[1], 0u);
+}
+
+TEST(CompetitiveTest, ValidationErrors) {
+  auto g = test::MustGraph(2, {{0, 1}});
+  Probs p(g.num_edges(), 0.5);
+  Probs bad(3, 0.5);
+  std::span<const double> views[2] = {p, bad};
+  std::vector<graph::NodeId> seeds[2] = {{0}, {1}};
+  Rng rng(9);
+  EXPECT_FALSE(RunCompetitiveCascade(g, views, seeds, rng).ok());
+
+  std::span<const double> one_view[1] = {p};
+  EXPECT_FALSE(RunCompetitiveCascade(g, one_view, seeds, rng).ok());
+
+  std::span<const double> views_ok[2] = {p, p};
+  std::vector<graph::NodeId> bad_seeds[2] = {{0}, {9}};
+  EXPECT_FALSE(RunCompetitiveCascade(g, views_ok, bad_seeds, rng).ok());
+  EXPECT_FALSE(
+      EstimateCompetitiveEngagements(g, views_ok, seeds, 0, 1).ok());
+}
+
+}  // namespace
+}  // namespace isa::diffusion

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/curvature.h"
+
+namespace isa::core {
+namespace {
+
+// Modular function: f(S) = sum of fixed weights.
+SetFunction Modular(std::vector<double> w) {
+  return [w = std::move(w)](std::span<const graph::NodeId> set) {
+    double s = 0;
+    for (auto u : set) s += w[u];
+    return s;
+  };
+}
+
+// Coverage-style function: f(S) = |union of item sets|.
+SetFunction Coverage(std::vector<std::vector<int>> sets, int universe) {
+  return [sets = std::move(sets),
+          universe](std::span<const graph::NodeId> set) {
+    std::vector<uint8_t> covered(universe, 0);
+    double total = 0;
+    for (auto u : set) {
+      for (int x : sets[u]) {
+        if (!covered[x]) {
+          covered[x] = 1;
+          total += 1;
+        }
+      }
+    }
+    return total;
+  };
+}
+
+TEST(CurvatureTest, ModularHasZeroCurvature) {
+  auto f = Modular({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(TotalCurvature(f, 3), 0.0);
+}
+
+TEST(CurvatureTest, FullyOverlappingCoverageHasCurvatureOne) {
+  // Two identical sets: the second adds nothing given the first.
+  auto f = Coverage({{0, 1}, {0, 1}}, 2);
+  EXPECT_DOUBLE_EQ(TotalCurvature(f, 2), 1.0);
+}
+
+TEST(CurvatureTest, PartialOverlapIntermediate) {
+  // f({0}) = 2, f(0 | {1}) = 1 -> ratio 1/2 -> curvature 1/2 (symmetric).
+  auto f = Coverage({{0, 1}, {1, 2}}, 3);
+  EXPECT_DOUBLE_EQ(TotalCurvature(f, 2), 0.5);
+}
+
+TEST(CurvatureTest, CurvatureWrtSubset) {
+  auto f = Coverage({{0, 1}, {1, 2}, {5}}, 6);
+  // Within {0, 2} (items {0,1} and {5}): disjoint -> curvature 0.
+  const graph::NodeId s1[] = {0, 2};
+  EXPECT_DOUBLE_EQ(CurvatureWrt(f, s1), 0.0);
+  // Within {0, 1}: overlap on item 1 -> curvature 1/2.
+  const graph::NodeId s2[] = {0, 1};
+  EXPECT_DOUBLE_EQ(CurvatureWrt(f, s2), 0.5);
+}
+
+TEST(CurvatureTest, AverageCurvatureBelowWorstCase) {
+  auto f = Coverage({{0, 1}, {1, 2}, {9}}, 10);
+  const graph::NodeId s[] = {0, 1, 2};
+  const double avg = AverageCurvatureWrt(f, s);
+  const double wrt = CurvatureWrt(f, s);
+  EXPECT_LE(avg, wrt + 1e-12);
+  EXPECT_GE(avg, 0.0);
+}
+
+TEST(CurvatureTest, OrderingChainHolds) {
+  // kappa_hat(S) <= kappa(S) <= kappa(V) (paper, after Definition 4).
+  auto f = Coverage({{0, 1, 2}, {2, 3}, {3, 4}, {0, 4}}, 5);
+  std::vector<graph::NodeId> all = {0, 1, 2, 3};
+  const double total = TotalCurvature(f, 4);
+  const double wrt = CurvatureWrt(f, all);
+  const double avg = AverageCurvatureWrt(f, all);
+  EXPECT_LE(avg, wrt + 1e-12);
+  EXPECT_LE(wrt, total + 1e-12);
+  EXPECT_GE(avg, 0.0);
+  EXPECT_LE(total, 1.0);
+}
+
+TEST(CurvatureTest, EmptyGroundSet) {
+  auto f = Modular({});
+  EXPECT_DOUBLE_EQ(TotalCurvature(f, 0), 0.0);
+  EXPECT_DOUBLE_EQ(CurvatureWrt(f, {}), 0.0);
+  EXPECT_DOUBLE_EQ(AverageCurvatureWrt(f, {}), 0.0);
+}
+
+// ---------- Theorem 2 bound ----------
+
+TEST(Theorem2BoundTest, KnownValues) {
+  // kappa = 1, r = R: (1 - (1-1/R)^R) -> e.g. R = 1 gives 1.
+  EXPECT_DOUBLE_EQ(Theorem2Bound(1.0, 1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(Theorem2Bound(1.0, 1, 2), 0.5);
+  EXPECT_NEAR(Theorem2Bound(1.0, 2, 2), 0.75, 1e-12);
+}
+
+TEST(Theorem2BoundTest, MatroidCaseApproaches1MinusInvE) {
+  // r = R = k large, kappa = 1: bound -> 1 - 1/e.
+  EXPECT_NEAR(Theorem2Bound(1.0, 1000, 1000), 1.0 - 1.0 / std::exp(1.0),
+              1e-3);
+}
+
+TEST(Theorem2BoundTest, LowCurvatureImprovesBound) {
+  // Lower curvature -> better guarantee (discussion after Theorem 2).
+  EXPECT_GT(Theorem2Bound(0.2, 10, 10), Theorem2Bound(1.0, 10, 10));
+}
+
+TEST(Theorem2BoundTest, ZeroCurvatureLimitIsROverR) {
+  EXPECT_NEAR(Theorem2Bound(0.0, 3, 6), 0.5, 1e-9);
+  EXPECT_NEAR(Theorem2Bound(0.0, 6, 6), 1.0, 1e-9);
+}
+
+TEST(Theorem2BoundTest, WorstCaseFloorOneOverR) {
+  // Bound >= 1/R always (Eq. 3 of the paper).
+  for (uint64_t r = 1; r <= 5; ++r) {
+    for (uint64_t R = r; R <= 10; ++R) {
+      for (double k : {0.1, 0.5, 0.9, 1.0}) {
+        EXPECT_GE(Theorem2Bound(k, r, R) + 1e-12, WorstCaseBound(R))
+            << "r=" << r << " R=" << R << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Theorem2BoundTest, DegenerateRanks) {
+  EXPECT_DOUBLE_EQ(Theorem2Bound(1.0, 0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(Theorem2Bound(1.0, 5, 0), 0.0);
+}
+
+// ---------- Theorem 3 bound ----------
+
+TEST(Theorem3BoundTest, KnownValue) {
+  // R=1, kappa=0, rho_max=rho_min=1: 1 - 1/(1+1) = 0.5.
+  EXPECT_DOUBLE_EQ(Theorem3Bound(1, 0.0, 1.0, 1.0), 0.5);
+}
+
+TEST(Theorem3BoundTest, DegenerateWhenCurvatureOne) {
+  // kappa_rho = 1 (totally normalized ρ): guarantee collapses (paper §3.2).
+  EXPECT_DOUBLE_EQ(Theorem3Bound(5, 1.0, 2.0, 1.0), 0.0);
+}
+
+TEST(Theorem3BoundTest, ImprovesAsRhoRatioShrinks) {
+  // Smaller rho_max/rho_min -> better bound (discussion after Theorem 3).
+  const double wide = Theorem3Bound(10, 0.5, 100.0, 1.0);
+  const double narrow = Theorem3Bound(10, 0.5, 2.0, 1.0);
+  EXPECT_GT(narrow, wide);
+}
+
+TEST(Theorem3BoundTest, DecreasesWithUpperRank) {
+  EXPECT_GT(Theorem3Bound(2, 0.0, 1.0, 1.0), Theorem3Bound(20, 0.0, 1.0, 1.0));
+}
+
+TEST(Theorem3BoundTest, InvalidInputs) {
+  EXPECT_DOUBLE_EQ(Theorem3Bound(0, 0.0, 1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Theorem3Bound(5, 0.0, 0.0, 1.0), 0.0);
+}
+
+// Parameterized consistency sweep: bounds always land in [0, 1].
+class BoundRange
+    : public ::testing::TestWithParam<std::tuple<double, uint64_t, uint64_t>> {
+};
+
+TEST_P(BoundRange, Theorem2InUnitInterval) {
+  auto [kappa, r, R] = GetParam();
+  if (r > R) std::swap(r, R);
+  const double b = Theorem2Bound(kappa, r, R);
+  EXPECT_GE(b, 0.0);
+  EXPECT_LE(b, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BoundRange,
+    ::testing::Combine(::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0),
+                       ::testing::Values<uint64_t>(1, 2, 8),
+                       ::testing::Values<uint64_t>(1, 4, 16, 64)));
+
+}  // namespace
+}  // namespace isa::core

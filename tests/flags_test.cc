@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace isa {
+namespace {
+
+Flags MustParse(std::vector<const char*> argv,
+                std::vector<std::string> known) {
+  argv.insert(argv.begin(), "prog");
+  auto parsed = Flags::Parse(static_cast<int>(argv.size()), argv.data(),
+                             known);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(parsed).value();
+}
+
+TEST(FlagsTest, EqualsAndSpaceSyntax) {
+  auto flags = MustParse({"--alpha=0.5", "--ads", "7"}, {"alpha", "ads"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("alpha", 0).value(), 0.5);
+  EXPECT_EQ(flags.GetInt("ads", 0).value(), 7);
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  auto flags = MustParse({"--validate", "--alpha=1"}, {"validate", "alpha"});
+  EXPECT_TRUE(flags.GetBool("validate", false).value());
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  auto flags = MustParse({}, {"x"});
+  EXPECT_EQ(flags.GetInt("x", 42).value(), 42);
+  EXPECT_EQ(flags.GetString("x", "d").value(), "d");
+  EXPECT_FALSE(flags.GetBool("x", false).value());
+  EXPECT_FALSE(flags.Has("x"));
+}
+
+TEST(FlagsTest, UnknownFlagRejected) {
+  const char* argv[] = {"prog", "--tpyo=1"};
+  EXPECT_FALSE(Flags::Parse(2, argv, {"typo"}).ok());
+}
+
+TEST(FlagsTest, MalformedValueRejected) {
+  auto flags = MustParse({"--n=abc", "--b=maybe"}, {"n", "b"});
+  EXPECT_FALSE(flags.GetInt("n", 0).ok());
+  EXPECT_FALSE(flags.GetBool("b", false).ok());
+}
+
+TEST(FlagsTest, PositionalsCollected) {
+  auto flags = MustParse({"input.txt", "--x=1", "out.csv"}, {"x"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+  EXPECT_EQ(flags.positional()[1], "out.csv");
+}
+
+TEST(FlagsTest, BoolAcceptsNumericForms) {
+  auto flags = MustParse({"--a=1", "--b=0"}, {"a", "b"});
+  EXPECT_TRUE(flags.GetBool("a", false).value());
+  EXPECT_FALSE(flags.GetBool("b", true).value());
+}
+
+}  // namespace
+}  // namespace isa

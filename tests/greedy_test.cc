@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "core/greedy.h"
+#include "core/spread_oracle.h"
+#include "tests/test_util.h"
+
+namespace isa::core {
+namespace {
+
+AdvertiserSpec Ad(double cpe, double budget) {
+  AdvertiserSpec a;
+  a.cpe = cpe;
+  a.budget = budget;
+  a.gamma = topic::TopicDistribution::Uniform(1);
+  return a;
+}
+
+// Star from node 0 to 1..4 with p = 1: sigma({0}) = 5, sigma({k}) = 1.
+test::OwnedInstance StarInstance(double budget, std::vector<double> costs) {
+  return test::MakeInstance(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}}, 1.0,
+                            {Ad(1.0, budget)}, {std::move(costs)});
+}
+
+TEST(CaGreedyTest, PicksMaxMarginalRevenueFirst) {
+  auto owned = StarInstance(100.0, {1, 1, 1, 1, 1});
+  auto oracle = ExactSpreadOracle::Create(*owned.instance);
+  ASSERT_TRUE(oracle.ok());
+  GreedyOptions opt;
+  opt.cost_sensitive = false;
+  auto res = RunGreedy(*owned.instance, *oracle.value(), opt);
+  ASSERT_TRUE(res.ok());
+  ASSERT_FALSE(res.value().steps.empty());
+  EXPECT_EQ(res.value().steps[0].node, 0u);  // hub has max spread
+  EXPECT_DOUBLE_EQ(res.value().steps[0].marginal_revenue, 5.0);
+}
+
+TEST(CaGreedyTest, RespectsBudget) {
+  // Budget 6: hub costs payment 5 + 1 = 6; nothing else fits after.
+  auto owned = StarInstance(6.0, {1, 1, 1, 1, 1});
+  auto oracle = ExactSpreadOracle::Create(*owned.instance);
+  ASSERT_TRUE(oracle.ok());
+  auto res = RunGreedy(*owned.instance, *oracle.value(), {});
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().allocation.seed_sets[0].size(), 1u);
+  EXPECT_DOUBLE_EQ(res.value().total_revenue, 5.0);
+  EXPECT_LE(res.value().payment[0], 6.0 + 1e-9);
+}
+
+TEST(CaGreedyTest, FillsRemainingBudgetWithLeaves) {
+  // Budget 10: hub (payment 6), then leaves add revenue 0 (already covered)
+  // and cost 1 each — zero marginal revenue keeps CA from adding them?
+  // No: CA adds zero-gain pairs only if they score max; all remaining have
+  // gain 0, ties resolve to first; they remain feasible until budget is hit.
+  auto owned = StarInstance(8.0, {1, 1, 1, 1, 1});
+  auto oracle = ExactSpreadOracle::Create(*owned.instance);
+  ASSERT_TRUE(oracle.ok());
+  auto res = RunGreedy(*owned.instance, *oracle.value(), {});
+  ASSERT_TRUE(res.ok());
+  // Revenue cannot exceed 5 (all nodes covered by the hub).
+  EXPECT_DOUBLE_EQ(res.value().total_revenue, 5.0);
+  EXPECT_LE(res.value().payment[0], 8.0 + 1e-9);
+  EXPECT_TRUE(res.value().allocation.IsDisjoint(5));
+}
+
+TEST(CsGreedyTest, PrefersCheapSeedsPerUnitRevenue) {
+  // Hub costs 100, leaves cost 0.1: CS must start with a leaf... but hub
+  // ratio = 5/105 = 0.048, leaf ratio = 1/1.1 = 0.909.
+  auto owned = StarInstance(1000.0, {100, 0.1, 0.1, 0.1, 0.1});
+  auto oracle = ExactSpreadOracle::Create(*owned.instance);
+  ASSERT_TRUE(oracle.ok());
+  GreedyOptions opt;
+  opt.cost_sensitive = true;
+  auto res = RunGreedy(*owned.instance, *oracle.value(), opt);
+  ASSERT_TRUE(res.ok());
+  ASSERT_FALSE(res.value().steps.empty());
+  EXPECT_NE(res.value().steps[0].node, 0u);
+}
+
+TEST(CsGreedyTest, CaAndCsAgreeOnUniformCosts) {
+  auto owned = StarInstance(100.0, {1, 1, 1, 1, 1});
+  auto oracle_a = ExactSpreadOracle::Create(*owned.instance);
+  auto oracle_b = ExactSpreadOracle::Create(*owned.instance);
+  GreedyOptions ca, cs;
+  ca.cost_sensitive = false;
+  cs.cost_sensitive = true;
+  auto ra = RunGreedy(*owned.instance, *oracle_a.value(), ca);
+  auto rb = RunGreedy(*owned.instance, *oracle_b.value(), cs);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  // With equal costs both rules agree on the first pick (the hub).
+  EXPECT_EQ(ra.value().steps[0].node, rb.value().steps[0].node);
+}
+
+TEST(GreedyTest, MultiAdvertiserDisjointness) {
+  // Two identical ads compete for the same hub; only one can have it.
+  auto owned = test::MakeInstance(
+      5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}}, 1.0,
+      {Ad(1.0, 100.0), Ad(1.0, 100.0)},
+      {{1, 1, 1, 1, 1}, {1, 1, 1, 1, 1}});
+  auto oracle = ExactSpreadOracle::Create(*owned.instance);
+  ASSERT_TRUE(oracle.ok());
+  auto res = RunGreedy(*owned.instance, *oracle.value(), {});
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res.value().allocation.IsDisjoint(5));
+  // The hub is assigned to exactly one ad.
+  int hub_count = 0;
+  for (const auto& s : res.value().allocation.seed_sets) {
+    for (auto u : s) hub_count += u == 0;
+  }
+  EXPECT_EQ(hub_count, 1);
+}
+
+TEST(GreedyTest, MaxSeedsCap) {
+  auto owned = StarInstance(1000.0, {1, 1, 1, 1, 1});
+  auto oracle = ExactSpreadOracle::Create(*owned.instance);
+  ASSERT_TRUE(oracle.ok());
+  GreedyOptions opt;
+  opt.max_seeds = 2;
+  auto res = RunGreedy(*owned.instance, *oracle.value(), opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_LE(res.value().allocation.TotalSeeds(), 2u);
+}
+
+TEST(GreedyTest, EmptyGraphRejected) {
+  auto g = test::MustGraph(0, {});
+  auto topics = topic::MakeUniform(g, 1, 0.5);
+  // Can't even build an instance with 0 nodes and an ad needing incentives;
+  // exercise RunGreedy's own guard via a 1-node graph with no edges is not
+  // possible (MakeUniform needs edges sized arrays, 0 edges fine).
+  auto owned = test::MakeInstance(1, {}, 0.5, {Ad(1.0, 10.0)}, {{0.5}});
+  auto oracle = ExactSpreadOracle::Create(*owned.instance);
+  ASSERT_TRUE(oracle.ok());
+  auto res = RunGreedy(*owned.instance, *oracle.value(), {});
+  ASSERT_TRUE(res.ok());
+  // Single node, no edges: spread 1, payment 1*1 + 0.5 <= 10 -> selected.
+  EXPECT_EQ(res.value().allocation.TotalSeeds(), 1u);
+}
+
+TEST(GreedyTest, StepsRecordMarginals) {
+  auto owned = StarInstance(100.0, {2, 1, 1, 1, 1});
+  auto oracle = ExactSpreadOracle::Create(*owned.instance);
+  ASSERT_TRUE(oracle.ok());
+  auto res = RunGreedy(*owned.instance, *oracle.value(), {});
+  ASSERT_TRUE(res.ok());
+  ASSERT_FALSE(res.value().steps.empty());
+  const auto& s0 = res.value().steps[0];
+  EXPECT_DOUBLE_EQ(s0.marginal_revenue, 5.0);
+  EXPECT_DOUBLE_EQ(s0.marginal_payment, 7.0);  // 5 revenue + 2 incentive
+  EXPECT_GT(res.value().oracle_queries, 0u);
+}
+
+TEST(GreedyTest, McOracleEndToEnd) {
+  auto owned = StarInstance(100.0, {1, 1, 1, 1, 1});
+  McSpreadOracle oracle(*owned.instance, 2000, 3);
+  auto res = RunGreedy(*owned.instance, oracle, {});
+  ASSERT_TRUE(res.ok());
+  ASSERT_FALSE(res.value().steps.empty());
+  EXPECT_EQ(res.value().steps[0].node, 0u);
+}
+
+}  // namespace
+}  // namespace isa::core

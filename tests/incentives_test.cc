@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/incentives.h"
+
+namespace isa::core {
+namespace {
+
+const std::vector<double> kSpreads = {1.0, 2.0, 4.0, 10.0};
+
+TEST(IncentivesTest, LinearFormula) {
+  auto c = ComputeIncentives(IncentiveModel::kLinear, 0.5, kSpreads);
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c.value()[0], 0.5);
+  EXPECT_DOUBLE_EQ(c.value()[3], 5.0);
+}
+
+TEST(IncentivesTest, ConstantIsAverageOfLinear) {
+  auto c = ComputeIncentives(IncentiveModel::kConstant, 2.0, kSpreads);
+  ASSERT_TRUE(c.ok());
+  const double expected = 2.0 * (1 + 2 + 4 + 10) / 4.0;
+  for (double v : c.value()) EXPECT_DOUBLE_EQ(v, expected);
+}
+
+TEST(IncentivesTest, SublinearIsLog) {
+  auto c = ComputeIncentives(IncentiveModel::kSublinear, 3.0, kSpreads);
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c.value()[0], 0.0);  // log(1) = 0
+  EXPECT_DOUBLE_EQ(c.value()[2], 3.0 * std::log(4.0));
+}
+
+TEST(IncentivesTest, SuperlinearIsSquare) {
+  auto c = ComputeIncentives(IncentiveModel::kSuperlinear, 0.1, kSpreads);
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c.value()[3], 0.1 * 100.0);
+}
+
+TEST(IncentivesTest, SpreadsClampedToOne) {
+  // sigma({u}) >= 1 by definition; sub-1 estimates are clamped so the
+  // sublinear schedule stays non-negative.
+  std::vector<double> tiny = {0.2, 0.0};
+  for (auto model :
+       {IncentiveModel::kLinear, IncentiveModel::kSublinear,
+        IncentiveModel::kSuperlinear, IncentiveModel::kConstant}) {
+    auto c = ComputeIncentives(model, 1.0, tiny);
+    ASSERT_TRUE(c.ok());
+    for (double v : c.value()) EXPECT_GE(v, 0.0);
+  }
+  auto lin = ComputeIncentives(IncentiveModel::kLinear, 1.0, tiny);
+  EXPECT_DOUBLE_EQ(lin.value()[0], 1.0);
+}
+
+TEST(IncentivesTest, RejectsBadArgs) {
+  EXPECT_FALSE(ComputeIncentives(IncentiveModel::kLinear, 0.0, kSpreads).ok());
+  EXPECT_FALSE(
+      ComputeIncentives(IncentiveModel::kLinear, -1.0, kSpreads).ok());
+  EXPECT_FALSE(ComputeIncentives(IncentiveModel::kLinear, 1.0, {}).ok());
+}
+
+TEST(IncentivesTest, NameParseRoundTrip) {
+  for (auto model :
+       {IncentiveModel::kLinear, IncentiveModel::kConstant,
+        IncentiveModel::kSublinear, IncentiveModel::kSuperlinear}) {
+    auto parsed = ParseIncentiveModel(IncentiveModelName(model));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), model);
+  }
+  EXPECT_FALSE(ParseIncentiveModel("quadratic").ok());
+}
+
+// Monotonicity property: higher influence never earns a smaller incentive,
+// for every model (paper: c_i(u) is a monotone function f of sigma_i({u})).
+class IncentiveMonotonicity
+    : public ::testing::TestWithParam<IncentiveModel> {};
+
+TEST_P(IncentiveMonotonicity, MonotoneInSpread) {
+  std::vector<double> spreads = {1.0, 1.5, 3.0, 7.0, 20.0, 100.0};
+  auto c = ComputeIncentives(GetParam(), 0.25, spreads);
+  ASSERT_TRUE(c.ok());
+  for (size_t i = 1; i < spreads.size(); ++i) {
+    EXPECT_GE(c.value()[i] + 1e-12, c.value()[i - 1]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, IncentiveMonotonicity,
+    ::testing::Values(IncentiveModel::kLinear, IncentiveModel::kConstant,
+                      IncentiveModel::kSublinear,
+                      IncentiveModel::kSuperlinear));
+
+}  // namespace
+}  // namespace isa::core

@@ -1,0 +1,197 @@
+// Linear Threshold diffusion: forward simulator, exact live-edge
+// enumeration, LT RR sampling, and the LT mode of the TI driver.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/ti_greedy.h"
+#include "diffusion/exact.h"
+#include <cmath>
+#include "diffusion/linear_threshold.h"
+#include "graph/generators.h"
+#include "rrset/rr_sampler.h"
+#include "tests/test_util.h"
+#include "topic/tic_model.h"
+
+namespace isa {
+namespace {
+
+using diffusion::ExactLtSpread;
+using diffusion::LtCascadeSimulator;
+using diffusion::ValidateLtWeights;
+using rrset::DiffusionModel;
+
+TEST(LtWeightsTest, WeightedCascadeIsValid) {
+  auto g = graph::GenerateBarabasiAlbert(
+                 {.num_nodes = 200, .edges_per_node = 3, .seed = 5})
+                 .value();
+  auto wc = topic::MakeWeightedCascade(g, 1).value();
+  EXPECT_TRUE(ValidateLtWeights(g, wc.topic(0)).ok());
+}
+
+TEST(LtWeightsTest, RejectsOverweightNode) {
+  auto g = test::MustGraph(3, {{0, 2}, {1, 2}});
+  std::vector<double> w = {0.8, 0.5};  // sums to 1.3 at node 2
+  EXPECT_FALSE(ValidateLtWeights(g, w).ok());
+}
+
+TEST(LtWeightsTest, RejectsNegativeAndSizeMismatch) {
+  auto g = test::MustGraph(3, {{0, 2}, {1, 2}});
+  EXPECT_FALSE(ValidateLtWeights(g, std::vector<double>{0.5}).ok());
+  EXPECT_FALSE(ValidateLtWeights(g, std::vector<double>{-0.1, 0.5}).ok());
+}
+
+TEST(LtCascadeTest, FullWeightChainActivatesAll) {
+  // Chain with weight 1 per arc: LT always propagates (threshold <= 1).
+  auto g = test::MustGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  std::vector<double> w(g.num_edges(), 1.0);
+  LtCascadeSimulator sim(g);
+  Rng rng(1);
+  const graph::NodeId seeds[1] = {0};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(sim.RunOnce(w, seeds, rng), 4u);
+  }
+}
+
+TEST(LtCascadeTest, ZeroWeightsActivateOnlySeeds) {
+  auto g = test::MustGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  std::vector<double> w(g.num_edges(), 0.0);
+  LtCascadeSimulator sim(g);
+  Rng rng(2);
+  const graph::NodeId seeds[2] = {0, 2};
+  EXPECT_EQ(sim.RunOnce(w, seeds, rng), 2u);
+}
+
+TEST(LtExactTest, SingleArcHandComputed) {
+  // 0 -> 1 with weight 0.4: sigma({0}) = 1 + 0.4.
+  auto g = test::MustGraph(2, {{0, 1}});
+  std::vector<double> w = {0.4};
+  const graph::NodeId seeds[1] = {0};
+  auto s = ExactLtSpread(g, w, seeds);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.value(), 1.4, 1e-12);
+}
+
+TEST(LtExactTest, TwoParentsHandComputed) {
+  // 0 -> 2 (0.3), 1 -> 2 (0.5), seed {0}: node 2 activates iff it selects
+  // arc from 0 -> probability 0.3. sigma = 1.3.
+  auto g = test::MustGraph(3, {{0, 2}, {1, 2}});
+  std::vector<double> w = {0.3, 0.5};
+  const graph::NodeId seeds[1] = {0};
+  auto s = ExactLtSpread(g, w, seeds);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.value(), 1.3, 1e-12);
+}
+
+TEST(LtExactTest, McConvergesToExact) {
+  auto g = test::MakeDiamond();
+  std::vector<double> w = {0.5, 0.5, 0.4, 0.4};
+  const graph::NodeId seeds[1] = {0};
+  const double exact = ExactLtSpread(g, w, seeds).value();
+  LtCascadeSimulator sim(g);
+  const double mc = sim.EstimateSpread(w, seeds, 300'000, 7);
+  EXPECT_NEAR(mc, exact, 0.01);
+}
+
+TEST(LtExactTest, RejectsHugeGraphs) {
+  auto g = graph::GenerateBarabasiAlbert(
+                 {.num_nodes = 100, .edges_per_node = 3, .seed = 9})
+                 .value();
+  auto wc = topic::MakeWeightedCascade(g, 1).value();
+  const graph::NodeId seeds[1] = {0};
+  EXPECT_FALSE(ExactLtSpread(g, wc.topic(0), seeds).ok());
+}
+
+TEST(LtRrSamplerTest, EstimatorMatchesExact) {
+  auto g = test::MustGraph(5, {{0, 1}, {1, 2}, {3, 2}, {3, 4}, {0, 4}});
+  std::vector<double> w = {0.6, 0.5, 0.4, 0.5, 0.3};
+  ASSERT_TRUE(ValidateLtWeights(g, w).ok());
+  rrset::RrSampler sampler(g, w, DiffusionModel::kLinearThreshold);
+  Rng rng(11);
+  std::vector<graph::NodeId> rr;
+  const int theta = 300'000;
+  std::vector<uint32_t> count(g.num_nodes(), 0);
+  for (int i = 0; i < theta; ++i) {
+    sampler.SampleInto(rng, &rr);
+    for (auto v : rr) ++count[v];
+  }
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    const graph::NodeId s[1] = {u};
+    const double exact = ExactLtSpread(g, w, s).value();
+    const double est = 5.0 * count[u] / theta;
+    EXPECT_NEAR(est, exact, 0.03) << "node " << u;
+  }
+}
+
+TEST(LtRrSamplerTest, AtMostOneParentPerNode) {
+  // Under LT every RR set is a path (each node picks <= 1 in-arc), so the
+  // set size is bounded by the longest path, and on a chain the RR set is
+  // always a contiguous suffix toward the root.
+  auto g = test::MustGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  std::vector<double> w(g.num_edges(), 1.0);
+  rrset::RrSampler sampler(g, w, DiffusionModel::kLinearThreshold);
+  Rng rng(13);
+  std::vector<graph::NodeId> rr;
+  for (int i = 0; i < 100; ++i) {
+    graph::NodeId root = sampler.SampleInto(rng, &rr);
+    EXPECT_EQ(rr.size(), root + 1u);  // weight-1 chain: full ancestry
+  }
+}
+
+TEST(LtTiDriverTest, FeasibleAllocationUnderLt) {
+  auto g = graph::GenerateBarabasiAlbert(
+                 {.num_nodes = 400, .edges_per_node = 3, .seed = 15})
+                 .value();
+  auto topics = topic::MakeWeightedCascade(g, 1).value();
+  std::vector<double> cost(g.num_nodes());
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    cost[u] = 0.2 * (1 + g.OutDegree(u));
+  }
+  core::AdvertiserSpec ad;
+  ad.cpe = 1.0;
+  ad.budget = 40.0;
+  ad.gamma = topic::TopicDistribution::Uniform(1);
+  auto inst = core::RmInstance::Create(
+                  g, topics, {ad, ad}, {cost, cost})
+                  .value();
+  core::TiOptions opt;
+  opt.epsilon = 0.3;
+  opt.theta_cap = 20'000;
+  opt.propagation = DiffusionModel::kLinearThreshold;
+  auto res = core::RunTiCsrm(inst, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res.value().allocation.IsDisjoint(g.num_nodes()));
+  EXPECT_GT(res.value().total_revenue, 0.0);
+  for (uint32_t j = 0; j < 2; ++j) {
+    EXPECT_LE(res.value().ad_stats[j].payment, 40.0 + 1e-6);
+  }
+
+  // LT RR revenue estimate should agree with an LT forward-MC evaluation.
+  diffusion::LtCascadeSimulator sim(g);
+  double mc_revenue = 0.0;
+  for (uint32_t j = 0; j < 2; ++j) {
+    const auto& seeds = res.value().allocation.seed_sets[j];
+    if (seeds.empty()) continue;
+    mc_revenue +=
+        inst.cpe(j) * sim.EstimateSpread(topics.topic(0), seeds, 3000, 77);
+  }
+  EXPECT_NEAR(mc_revenue, res.value().total_revenue,
+              0.3 * std::max(1.0, res.value().total_revenue));
+}
+
+TEST(LtVsIcTest, LtAggregatesParentWeightsAdditively) {
+  // With identical arc values on a multi-parent node, LT activates with the
+  // SUM of the in-weights (0.9 here) while IC needs at least one of three
+  // independent 0.3 coins (0.657) — so LT reaches the child more often.
+  auto g = test::MustGraph(4, {{0, 3}, {1, 3}, {2, 3}});
+  std::vector<double> w = {0.3, 0.3, 0.3};
+  const graph::NodeId seeds[3] = {0, 1, 2};
+  const double ic = diffusion::ExactSpread(g, w, seeds).value();
+  const double lt = ExactLtSpread(g, w, seeds).value();
+  EXPECT_GT(lt, ic);
+  EXPECT_NEAR(lt, 3.0 + 0.9, 1e-9);                       // additive
+  EXPECT_NEAR(ic, 3.0 + (1.0 - std::pow(0.7, 3)), 1e-9);  // independent
+}
+
+}  // namespace
+}  // namespace isa

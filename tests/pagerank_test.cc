@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.h"
+#include "graph/pagerank.h"
+#include "tests/test_util.h"
+
+namespace isa::graph {
+namespace {
+
+double Sum(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+TEST(PageRankTest, ScoresSumToOne) {
+  Graph g = test::MustGraph(5, {{0, 1}, {1, 2}, {2, 0}, {3, 4}});
+  auto pr = PageRank(g);
+  ASSERT_TRUE(pr.ok());
+  EXPECT_NEAR(Sum(pr.value()), 1.0, 1e-6);
+}
+
+TEST(PageRankTest, SymmetricCycleIsUniform) {
+  Graph g = test::MustGraph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  auto pr = PageRank(g);
+  ASSERT_TRUE(pr.ok());
+  for (double s : pr.value()) EXPECT_NEAR(s, 0.25, 1e-8);
+}
+
+TEST(PageRankTest, SinkAttractsMass) {
+  // Star into node 0: node 0 must outrank the spokes.
+  Graph g = test::MustGraph(4, {{1, 0}, {2, 0}, {3, 0}});
+  auto pr = PageRank(g);
+  ASSERT_TRUE(pr.ok());
+  EXPECT_GT(pr.value()[0], pr.value()[1]);
+  EXPECT_GT(pr.value()[0], 0.4);
+}
+
+TEST(PageRankTest, DanglingMassRedistributed) {
+  Graph g = test::MustGraph(3, {{0, 1}, {0, 2}});  // 1 and 2 dangle
+  auto pr = PageRank(g);
+  ASSERT_TRUE(pr.ok());
+  EXPECT_NEAR(Sum(pr.value()), 1.0, 1e-6);
+  EXPECT_NEAR(pr.value()[1], pr.value()[2], 1e-10);
+}
+
+TEST(PageRankTest, EmptyGraph) {
+  Graph g;
+  auto pr = PageRank(g);
+  ASSERT_TRUE(pr.ok());
+  EXPECT_TRUE(pr.value().empty());
+}
+
+TEST(PageRankTest, RejectsBadDamping) {
+  Graph g = test::MustGraph(2, {{0, 1}});
+  PageRankOptions opt;
+  opt.damping = 1.0;
+  EXPECT_FALSE(PageRank(g, opt).ok());
+  opt.damping = -0.1;
+  EXPECT_FALSE(PageRank(g, opt).ok());
+}
+
+TEST(WeightedPageRankTest, MatchesUniformWhenWeightsEqual) {
+  Graph g = test::MustGraph(5, {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4},
+                                {4, 0}});
+  std::vector<double> w(g.num_edges(), 0.7);
+  auto a = PageRank(g);
+  auto b = WeightedPageRank(g, w);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_NEAR(a.value()[u], b.value()[u], 1e-9);
+  }
+}
+
+TEST(WeightedPageRankTest, HeavyArcShiftsMass) {
+  // 0 -> 1 (heavy) and 0 -> 2 (light): node 1 must outrank node 2.
+  Graph g = test::MustGraph(3, {{0, 1}, {0, 2}, {1, 0}, {2, 0}});
+  std::vector<double> w = {0.9, 0.1, 0.5, 0.5};
+  auto pr = WeightedPageRank(g, w);
+  ASSERT_TRUE(pr.ok());
+  EXPECT_GT(pr.value()[1], pr.value()[2]);
+}
+
+TEST(WeightedPageRankTest, RejectsSizeMismatch) {
+  Graph g = test::MustGraph(3, {{0, 1}, {1, 2}});
+  std::vector<double> w = {0.5};
+  EXPECT_FALSE(WeightedPageRank(g, w).ok());
+}
+
+TEST(WeightedPageRankTest, RejectsNegativeWeights) {
+  Graph g = test::MustGraph(3, {{0, 1}, {1, 2}});
+  std::vector<double> w = {0.5, -0.5};
+  EXPECT_FALSE(WeightedPageRank(g, w).ok());
+}
+
+TEST(WeightedPageRankTest, ZeroWeightArcIsDangling) {
+  Graph g = test::MustGraph(3, {{0, 1}, {1, 2}});
+  std::vector<double> w = {0.0, 1.0};  // node 0 is effectively dangling
+  auto pr = WeightedPageRank(g, w);
+  ASSERT_TRUE(pr.ok());
+  EXPECT_NEAR(Sum(pr.value()), 1.0, 1e-6);
+}
+
+TEST(RankByScoreTest, DescendingWithStableTies) {
+  std::vector<double> scores = {0.1, 0.5, 0.5, 0.9};
+  auto order = RankByScore(scores);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 3u);
+  EXPECT_EQ(order[1], 1u);  // tie broken by smaller id
+  EXPECT_EQ(order[2], 2u);
+  EXPECT_EQ(order[3], 0u);
+}
+
+TEST(PageRankTest, ConvergesOnGeneratedGraph) {
+  auto g = GenerateBarabasiAlbert({.num_nodes = 500, .edges_per_node = 3,
+                                   .seed = 3});
+  ASSERT_TRUE(g.ok());
+  auto pr = PageRank(g.value());
+  ASSERT_TRUE(pr.ok());
+  EXPECT_NEAR(Sum(pr.value()), 1.0, 1e-4);
+  // Early (hub) nodes should rank above typical late nodes.
+  auto order = RankByScore(pr.value());
+  EXPECT_LT(order[0], 50u);
+}
+
+}  // namespace
+}  // namespace isa::graph

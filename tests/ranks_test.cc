@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "core/curvature.h"
+#include "core/ranks.h"
+#include "core/spread_oracle.h"
+#include "tests/test_util.h"
+
+namespace isa::core {
+namespace {
+
+TEST(RanksTest, TightnessGadgetBracketsTrueRanks) {
+  // Ground truth on the Figure-1 gadget: r = 1 ({b} is maximal),
+  // R = 2 ({a, c} is maximal).
+  auto owned = test::MakeTightnessGadget();
+  auto oracle = ExactSpreadOracle::Create(*owned.instance);
+  ASSERT_TRUE(oracle.ok());
+  RankEstimatorOptions opt;
+  opt.trials = 200;
+  auto est = EstimateRanks(*owned.instance, *oracle.value(), opt);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est.value().lower_rank, 1u);
+  EXPECT_EQ(est.value().upper_rank, 2u);
+  EXPECT_GE(est.value().mean_size, 1.0);
+  EXPECT_LE(est.value().mean_size, 2.0);
+}
+
+TEST(RanksTest, EstimateFeedsTheorem2Bound) {
+  auto owned = test::MakeTightnessGadget();
+  auto oracle = ExactSpreadOracle::Create(*owned.instance);
+  ASSERT_TRUE(oracle.ok());
+  RankEstimatorOptions opt;
+  opt.trials = 200;
+  auto est = EstimateRanks(*owned.instance, *oracle.value(), opt).value();
+  EXPECT_DOUBLE_EQ(
+      Theorem2Bound(1.0, est.lower_rank, est.upper_rank), 0.5);
+}
+
+TEST(RanksTest, UniformCostsGiveEqualRanks) {
+  // With ample budget relative to all payments, every maximal set packs
+  // the same number of seeds (the knapsacks never bind before nodes run
+  // out): r == R == n.
+  AdvertiserSpec ad;
+  ad.cpe = 1.0;
+  ad.budget = 1000.0;
+  auto owned = test::MakeInstance(4, {{0, 1}, {2, 3}}, 0.0, {ad},
+                                  {{1, 1, 1, 1}});
+  auto oracle = ExactSpreadOracle::Create(*owned.instance);
+  ASSERT_TRUE(oracle.ok());
+  RankEstimatorOptions opt;
+  opt.trials = 20;
+  auto est = EstimateRanks(*owned.instance, *oracle.value(), opt).value();
+  EXPECT_EQ(est.lower_rank, 4u);
+  EXPECT_EQ(est.upper_rank, 4u);
+}
+
+TEST(RanksTest, MaxSetSizeCapRespected) {
+  AdvertiserSpec ad;
+  ad.cpe = 1.0;
+  ad.budget = 1000.0;
+  auto owned = test::MakeInstance(6, {{0, 1}}, 0.0, {ad},
+                                  {std::vector<double>(6, 0.1)});
+  auto oracle = ExactSpreadOracle::Create(*owned.instance);
+  ASSERT_TRUE(oracle.ok());
+  RankEstimatorOptions opt;
+  opt.trials = 5;
+  opt.max_set_size = 3;
+  auto est = EstimateRanks(*owned.instance, *oracle.value(), opt).value();
+  EXPECT_LE(est.upper_rank, 3u);
+}
+
+TEST(RanksTest, RejectsZeroTrials) {
+  auto owned = test::MakeTightnessGadget();
+  auto oracle = ExactSpreadOracle::Create(*owned.instance);
+  RankEstimatorOptions opt;
+  opt.trials = 0;
+  EXPECT_FALSE(EstimateRanks(*owned.instance, *oracle.value(), opt).ok());
+}
+
+}  // namespace
+}  // namespace isa::core

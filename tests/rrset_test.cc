@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "diffusion/exact.h"
+#include "rrset/rr_collection.h"
+#include "rrset/rr_sampler.h"
+#include "rrset/sample_sizer.h"
+#include "rrset/singleton_estimator.h"
+#include "tests/test_util.h"
+
+namespace isa::rrset {
+namespace {
+
+TEST(RrSamplerTest, DeterministicChainContainsAllAncestors) {
+  // 0 -> 1 -> 2 with p = 1: the RR set of root r is {0..r}.
+  auto g = test::MustGraph(3, {{0, 1}, {1, 2}});
+  std::vector<double> probs(g.num_edges(), 1.0);
+  RrSampler sampler(g, probs);
+  Rng rng(5);
+  std::vector<graph::NodeId> rr;
+  for (int i = 0; i < 50; ++i) {
+    graph::NodeId root = sampler.SampleInto(rng, &rr);
+    std::sort(rr.begin(), rr.end());
+    ASSERT_EQ(rr.size(), root + 1u);
+    for (graph::NodeId v = 0; v <= root; ++v) EXPECT_EQ(rr[v], v);
+  }
+}
+
+TEST(RrSamplerTest, ZeroProbabilityGivesSingletons) {
+  auto g = test::MakeDiamond();
+  std::vector<double> probs(g.num_edges(), 0.0);
+  RrSampler sampler(g, probs);
+  Rng rng(6);
+  std::vector<graph::NodeId> rr;
+  for (int i = 0; i < 50; ++i) {
+    sampler.SampleInto(rng, &rr);
+    EXPECT_EQ(rr.size(), 1u);
+  }
+}
+
+TEST(RrSamplerTest, WidthCountsInArcs) {
+  auto g = test::MustGraph(3, {{0, 2}, {1, 2}});
+  std::vector<double> probs(g.num_edges(), 0.0);
+  RrSampler sampler(g, probs);
+  Rng rng(7);
+  std::vector<graph::NodeId> rr;
+  for (int i = 0; i < 50; ++i) {
+    sampler.SampleInto(rng, &rr);
+    // Root 2 examines its two in-arcs; roots 0/1 have none.
+    if (rr[0] == 2) {
+      EXPECT_EQ(sampler.last_width(), 2u);
+    } else {
+      EXPECT_EQ(sampler.last_width(), 0u);
+    }
+  }
+}
+
+// The unbiasedness property the whole approach rests on:
+// n * E[fraction of RR sets covered by S] = sigma(S).
+TEST(RrEstimatorTest, CoverageEstimatesSpread) {
+  auto g = test::MakeDiamond();
+  std::vector<double> probs = {0.4, 0.6, 0.5, 0.3};
+  const graph::NodeId seeds[1] = {0};
+  const double exact = diffusion::ExactSpread(g, probs, seeds).value();
+
+  RrSampler sampler(g, probs);
+  Rng rng(8);
+  std::vector<graph::NodeId> rr;
+  const int theta = 200'000;
+  int covered = 0;
+  for (int i = 0; i < theta; ++i) {
+    sampler.SampleInto(rng, &rr);
+    covered += std::find(rr.begin(), rr.end(), 0u) != rr.end();
+  }
+  const double estimate = 4.0 * covered / theta;
+  EXPECT_NEAR(estimate, exact, 0.02);
+}
+
+TEST(RrEstimatorTest, MultiSeedCoverageEstimatesSpread) {
+  auto g = test::MustGraph(5, {{0, 1}, {1, 2}, {3, 2}, {3, 4}});
+  std::vector<double> probs = {0.5, 0.5, 0.5, 0.5};
+  const graph::NodeId seeds[2] = {0, 3};
+  const double exact = diffusion::ExactSpread(g, probs, seeds).value();
+
+  RrSampler sampler(g, probs);
+  Rng rng(9);
+  std::vector<graph::NodeId> rr;
+  const int theta = 200'000;
+  int covered = 0;
+  for (int i = 0; i < theta; ++i) {
+    sampler.SampleInto(rng, &rr);
+    covered += std::find(rr.begin(), rr.end(), 0u) != rr.end() ||
+               std::find(rr.begin(), rr.end(), 3u) != rr.end();
+  }
+  EXPECT_NEAR(5.0 * covered / theta, exact, 0.02);
+}
+
+// ---------- RrCollection ----------
+
+TEST(RrCollectionTest, AddAndCoverageCounts) {
+  auto g = test::MustGraph(3, {{0, 1}, {1, 2}});
+  std::vector<double> probs(g.num_edges(), 1.0);
+  RrSampler sampler(g, probs);
+  RrCollection col(3);
+  Rng rng(10);
+  col.AddSets(sampler, 300, rng, {});
+  EXPECT_EQ(col.total_sets(), 300u);
+  EXPECT_EQ(col.covered_sets(), 0u);
+  // With p = 1, node 0 is in every RR set.
+  EXPECT_EQ(col.CoverageOf(0), 300u);
+  // Node 2 only appears when the root is 2 (~1/3 of sets).
+  EXPECT_GT(col.CoverageOf(2), 60u);
+  EXPECT_LT(col.CoverageOf(2), 140u);
+}
+
+TEST(RrCollectionTest, RemoveCoveredByZeroesOutNode) {
+  auto g = test::MustGraph(3, {{0, 1}, {1, 2}});
+  std::vector<double> probs(g.num_edges(), 1.0);
+  RrSampler sampler(g, probs);
+  RrCollection col(3);
+  Rng rng(11);
+  col.AddSets(sampler, 200, rng, {});
+  const uint32_t removed = col.RemoveCoveredBy(0);
+  EXPECT_EQ(removed, 200u);  // node 0 covered everything
+  EXPECT_EQ(col.covered_sets(), 200u);
+  EXPECT_DOUBLE_EQ(col.covered_fraction(), 1.0);
+  EXPECT_EQ(col.CoverageOf(1), 0u);
+  EXPECT_EQ(col.CoverageOf(2), 0u);
+  // Second removal is a no-op.
+  EXPECT_EQ(col.RemoveCoveredBy(1), 0u);
+}
+
+TEST(RrCollectionTest, MarginalCoverageAfterRemoval) {
+  // Star into 0: 1 -> 0, 2 -> 0 (p = 1). RR(root=0) = {0,1,2};
+  // RR(root=1) = {1}; RR(root=2) = {2}.
+  auto g = test::MustGraph(3, {{1, 0}, {2, 0}});
+  std::vector<double> probs(g.num_edges(), 1.0);
+  RrSampler sampler(g, probs);
+  RrCollection col(3);
+  Rng rng(12);
+  col.AddSets(sampler, 3000, rng, {});
+  const uint32_t cov1_before = col.CoverageOf(1);
+  col.RemoveCoveredBy(0);  // removes all root-0 sets
+  const uint32_t cov1_after = col.CoverageOf(1);
+  // Node 1's marginal coverage is now only its own root-1 singletons.
+  EXPECT_LT(cov1_after, cov1_before);
+  EXPECT_GT(cov1_after, 0u);
+}
+
+TEST(RrCollectionTest, ArgmaxCoverageRespectsEligibility) {
+  auto g = test::MustGraph(3, {{0, 1}, {1, 2}});
+  std::vector<double> probs(g.num_edges(), 1.0);
+  RrSampler sampler(g, probs);
+  RrCollection col(3);
+  Rng rng(13);
+  col.AddSets(sampler, 100, rng, {});
+  std::vector<uint8_t> eligible = {1, 1, 1};
+  EXPECT_EQ(col.ArgmaxCoverage(eligible), 0u);
+  eligible[0] = 0;
+  EXPECT_EQ(col.ArgmaxCoverage(eligible), 1u);
+  eligible[1] = 0;
+  EXPECT_EQ(col.ArgmaxCoverage(eligible), 2u);
+  eligible[2] = 0;
+  EXPECT_EQ(col.ArgmaxCoverage(eligible), RrCollection::kInvalidNode);
+}
+
+TEST(RrCollectionTest, TopCoverageOrdering) {
+  auto g = test::MustGraph(3, {{0, 1}, {1, 2}});
+  std::vector<double> probs(g.num_edges(), 1.0);
+  RrSampler sampler(g, probs);
+  RrCollection col(3);
+  Rng rng(14);
+  col.AddSets(sampler, 500, rng, {});
+  std::vector<uint8_t> eligible = {1, 1, 1};
+  auto top2 = col.TopCoverage(2, eligible);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0], 0u);
+  EXPECT_EQ(top2[1], 1u);
+  auto top10 = col.TopCoverage(10, eligible);
+  EXPECT_EQ(top10.size(), 3u);
+}
+
+TEST(RrCollectionTest, AddSetsWithSeedsMarksCovered) {
+  auto g = test::MustGraph(3, {{0, 1}, {1, 2}});
+  std::vector<double> probs(g.num_edges(), 1.0);
+  RrSampler sampler(g, probs);
+  RrCollection col(3);
+  Rng rng(15);
+  col.AddSets(sampler, 100, rng, {});
+  col.RemoveCoveredBy(0);
+  EXPECT_DOUBLE_EQ(col.covered_fraction(), 1.0);
+  // Grow the sample while seed {0} is active: new sets containing 0 are
+  // covered immediately (Algorithm 3) — with p=1 that is all of them.
+  const graph::NodeId seeds[1] = {0};
+  col.AddSets(sampler, 100, rng, seeds);
+  EXPECT_EQ(col.total_sets(), 200u);
+  EXPECT_DOUBLE_EQ(col.covered_fraction(), 1.0);
+}
+
+TEST(RrCollectionTest, MaxCoverageFractionAndMeanSize) {
+  auto g = test::MustGraph(3, {{0, 1}, {1, 2}});
+  std::vector<double> probs(g.num_edges(), 1.0);
+  RrSampler sampler(g, probs);
+  RrCollection col(3);
+  Rng rng(16);
+  EXPECT_DOUBLE_EQ(col.MaxCoverageFraction(), 0.0);
+  col.AddSets(sampler, 100, rng, {});
+  EXPECT_DOUBLE_EQ(col.MaxCoverageFraction(), 1.0);  // node 0 in all
+  EXPECT_GE(col.MeanSetSize(), 1.0);
+  EXPECT_LE(col.MeanSetSize(), 3.0);
+  EXPECT_GT(col.MemoryBytes(), 0u);
+}
+
+// ---------- SampleSizer ----------
+
+TEST(SampleSizerTest, ThetaShrinksWithLargerEpsilon) {
+  auto g = test::MustGraph(100, [] {
+    std::vector<graph::Edge> es;
+    for (graph::NodeId u = 0; u < 99; ++u) es.push_back({u, u + 1});
+    return es;
+  }());
+  std::vector<double> probs(g.num_edges(), 0.1);
+  SampleSizerOptions tight, loose;
+  tight.epsilon = 0.1;
+  loose.epsilon = 0.5;
+  SampleSizer a(g, probs, tight), b(g, probs, loose);
+  EXPECT_GT(a.ThetaFor(1), b.ThetaFor(1));
+}
+
+TEST(SampleSizerTest, OptLowerBoundAtLeastS) {
+  auto g = test::MakeDiamond();
+  std::vector<double> probs(g.num_edges(), 0.5);
+  SampleSizerOptions opt;
+  SampleSizer sizer(g, probs, opt);
+  EXPECT_GE(sizer.OptLowerBound(1), 1.0);
+  EXPECT_GE(sizer.OptLowerBound(3), 3.0);
+}
+
+TEST(SampleSizerTest, ThetaCapRespected) {
+  auto g = test::MakeDiamond();
+  std::vector<double> probs(g.num_edges(), 0.5);
+  SampleSizerOptions opt;
+  opt.epsilon = 0.01;
+  opt.theta_cap = 1000;
+  SampleSizer sizer(g, probs, opt);
+  EXPECT_LE(sizer.ThetaFor(2), 1000u);
+}
+
+TEST(SampleSizerTest, PilotRunsWhenEnabled) {
+  auto g = test::MustGraph(64, [] {
+    std::vector<graph::Edge> es;
+    for (graph::NodeId u = 0; u < 63; ++u) es.push_back({u, u + 1});
+    return es;
+  }());
+  std::vector<double> probs(g.num_edges(), 0.3);
+  SampleSizerOptions with_pilot, without;
+  with_pilot.run_kpt_pilot = true;
+  without.run_kpt_pilot = false;
+  SampleSizer a(g, probs, with_pilot), b(g, probs, without);
+  EXPECT_GT(a.pilot_sets(), 0u);
+  EXPECT_EQ(b.pilot_sets(), 0u);
+  // The pilot can only raise the OPT lower bound, hence shrink theta.
+  EXPECT_LE(a.ThetaFor(1), b.ThetaFor(1));
+}
+
+TEST(SampleSizerTest, DeterministicInSeed) {
+  auto g = test::MakeDiamond();
+  std::vector<double> probs(g.num_edges(), 0.5);
+  SampleSizerOptions opt;
+  opt.seed = 77;
+  SampleSizer a(g, probs, opt), b(g, probs, opt);
+  EXPECT_EQ(a.ThetaFor(2), b.ThetaFor(2));
+}
+
+// ---------- Singleton estimator ----------
+
+TEST(SingletonEstimatorTest, MatchesExactOnDiamond) {
+  auto g = test::MakeDiamond();
+  std::vector<double> probs = {0.5, 0.5, 0.5, 0.5};
+  auto est = EstimateAllSingletonSpreads(g, probs, 300'000, 21);
+  ASSERT_TRUE(est.ok());
+  for (graph::NodeId u = 0; u < 4; ++u) {
+    const graph::NodeId seeds[1] = {u};
+    const double exact = diffusion::ExactSpread(g, probs, seeds).value();
+    EXPECT_NEAR(est.value()[u], exact, 0.03) << "node " << u;
+  }
+}
+
+TEST(SingletonEstimatorTest, FloorsAtOne) {
+  auto g = test::MustGraph(3, {{0, 1}});
+  std::vector<double> probs = {0.0};
+  auto est = EstimateAllSingletonSpreads(g, probs, 1000, 22);
+  ASSERT_TRUE(est.ok());
+  for (double v : est.value()) EXPECT_GE(v, 1.0);
+}
+
+TEST(SingletonEstimatorTest, RejectsZeroTheta) {
+  auto g = test::MakeDiamond();
+  std::vector<double> probs(g.num_edges(), 0.5);
+  EXPECT_FALSE(EstimateAllSingletonSpreads(g, probs, 0, 1).ok());
+}
+
+}  // namespace
+}  // namespace isa::rrset

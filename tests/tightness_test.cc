@@ -1,0 +1,97 @@
+// The Figure-1 tightness instance of Theorem 2 (see test_util.h for the
+// construction): CA-GREEDY lands exactly on the ½·OPT bound, while
+// CS-GREEDY recovers the optimum (paper footnote 9).
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/curvature.h"
+#include "core/greedy.h"
+#include "core/spread_oracle.h"
+#include "tests/test_util.h"
+
+namespace isa::core {
+namespace {
+
+class TightnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    owned_ = test::MakeTightnessGadget();
+    auto oracle = ExactSpreadOracle::Create(*owned_.instance);
+    ASSERT_TRUE(oracle.ok());
+    oracle_ = std::move(oracle).value();
+  }
+
+  test::OwnedInstance owned_;
+  std::unique_ptr<ExactSpreadOracle> oracle_;
+};
+
+TEST_F(TightnessTest, SingletonSpreadsAreAsConstructed) {
+  for (graph::NodeId u : {0u, 1u, 2u}) {  // b, a, c reach two leaves each
+    const graph::NodeId s[1] = {u};
+    EXPECT_DOUBLE_EQ(oracle_->Spread(0, s), 3.0);
+  }
+  for (graph::NodeId u = 3; u < 9; ++u) {
+    const graph::NodeId s[1] = {u};
+    EXPECT_DOUBLE_EQ(oracle_->Spread(0, s), 1.0);
+  }
+}
+
+TEST_F(TightnessTest, OptimalIsAC) {
+  auto opt = SolveOptimal(*owned_.instance, *oracle_);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_DOUBLE_EQ(opt.value().total_revenue, 6.0);
+  auto seeds = opt.value().allocation.seed_sets[0];
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(seeds, (std::vector<graph::NodeId>{1, 2}));  // {a, c}
+}
+
+TEST_F(TightnessTest, CaGreedyHitsTheBoundExactly) {
+  GreedyOptions opt;
+  opt.cost_sensitive = false;
+  auto res = RunGreedy(*owned_.instance, *oracle_, opt);
+  ASSERT_TRUE(res.ok());
+  // CA ties a/b/c at marginal revenue 3 and takes b (node 0); the budget is
+  // then exhausted: revenue 3 = 1/2 * OPT.
+  EXPECT_EQ(res.value().allocation.seed_sets[0],
+            (std::vector<graph::NodeId>{0}));
+  EXPECT_DOUBLE_EQ(res.value().total_revenue, 3.0);
+}
+
+TEST_F(TightnessTest, CsGreedyRecoversOptimum) {
+  GreedyOptions opt;
+  opt.cost_sensitive = true;
+  auto res = RunGreedy(*owned_.instance, *oracle_, opt);
+  ASSERT_TRUE(res.ok());
+  auto seeds = res.value().allocation.seed_sets[0];
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(seeds, (std::vector<graph::NodeId>{1, 2}));
+  EXPECT_DOUBLE_EQ(res.value().total_revenue, 6.0);
+}
+
+TEST_F(TightnessTest, Theorem2BoundIsHalfHere) {
+  // kappa_pi = 1 (leaf marginals vanish given everything else), r = 1
+  // (maximal set {b}), R = 2 (maximal set {a, c}).
+  EXPECT_DOUBLE_EQ(Theorem2Bound(1.0, 1, 2), 0.5);
+}
+
+TEST_F(TightnessTest, CurvatureOfRevenueIsOne) {
+  const RmInstance& inst = *owned_.instance;
+  SetFunction pi = [&](std::span<const graph::NodeId> set) {
+    return set.empty() ? 0.0 : inst.cpe(0) * oracle_->Spread(0, set);
+  };
+  EXPECT_DOUBLE_EQ(TotalCurvature(pi, inst.num_nodes()), 1.0);
+}
+
+TEST_F(TightnessTest, CaRevenueEqualsBoundTimesOpt) {
+  GreedyOptions opt;
+  opt.cost_sensitive = false;
+  auto ca = RunGreedy(*owned_.instance, *oracle_, opt);
+  auto best = SolveOptimal(*owned_.instance, *oracle_);
+  ASSERT_TRUE(ca.ok() && best.ok());
+  EXPECT_DOUBLE_EQ(ca.value().total_revenue,
+                   Theorem2Bound(1.0, 1, 2) * best.value().total_revenue);
+}
+
+}  // namespace
+}  // namespace isa::core

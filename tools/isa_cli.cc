@@ -1,0 +1,235 @@
+// isa_cli — run an incentivized-social-advertising campaign from the shell.
+//
+// Loads a SNAP-format edge list (or generates a synthetic graph), sets up h
+// advertisers, prices incentives, runs the chosen algorithm, and prints the
+// allocation summary (optionally the full seed lists as CSV).
+//
+// Examples:
+//   isa_cli --graph soc-Epinions1.txt --ads 5 --budget 5000 --alpha 0.2
+//   isa_cli --synthetic ba --nodes 10000 --ads 3 --algorithm ti-carm
+//   isa_cli --synthetic rmat --nodes 65536 --incentives superlinear \
+//           --alpha 0.0001 --algorithm ti-csrm --window 5000 --seeds-csv out.csv
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/flags.h"
+#include "common/strings.h"
+#include "common/table_writer.h"
+#include "core/incentives.h"
+#include "core/ti_greedy.h"
+#include "diffusion/cascade.h"
+#include "eval/workload.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "rrset/singleton_estimator.h"
+#include "topic/tic_model.h"
+
+namespace {
+
+constexpr const char* kUsage = R"(isa_cli — incentivized social advertising campaigns
+
+  --graph PATH          SNAP-style edge list ("src dst" per line)
+  --synthetic KIND      ba | rmat | er | powerlaw (instead of --graph)
+  --nodes N             synthetic graph size             [10000]
+  --ads H               number of advertisers            [3]
+  --budget B            budget per advertiser            [1000]
+  --cpe C               cost per engagement              [1.0]
+  --incentives MODEL    linear|constant|sublinear|superlinear  [linear]
+  --alpha A             incentive scale                  [0.2]
+  --algorithm NAME      ti-csrm | ti-carm | pagerank-gr | pagerank-rr [ti-csrm]
+  --model PROP          ic | lt (propagation model)      [ic]
+  --epsilon E           RR estimation accuracy           [0.3]
+  --window W            TI-CSRM window size (0 = full)   [0]
+  --theta-cap T         max RR sets per advertiser       [500000]
+  --share-samples       share RR stores across identical ads
+  --seed S              master RNG seed                  [42]
+  --seeds-csv PATH      write the chosen (ad, seed, incentive) rows as CSV
+  --validate            re-estimate revenue by Monte-Carlo after selection
+)";
+
+int Fail(const isa::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags_result = isa::Flags::Parse(
+      argc, argv,
+      {"graph", "synthetic", "nodes", "ads", "budget", "cpe", "incentives",
+       "alpha", "algorithm", "model", "epsilon", "window", "theta-cap",
+       "share-samples", "seed", "seeds-csv", "validate", "help"});
+  if (!flags_result.ok()) {
+    std::fputs(kUsage, stderr);
+    return Fail(flags_result.status());
+  }
+  const isa::Flags& flags = flags_result.value();
+  if (flags.Has("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+
+  const uint64_t seed =
+      static_cast<uint64_t>(flags.GetInt("seed", 42).value_or(42));
+
+  // ---- Graph. ----
+  isa::Result<isa::graph::Graph> graph_result(
+      isa::Status::InvalidArgument("need --graph or --synthetic"));
+  const std::string path = flags.GetString("graph", "").value_or("");
+  const std::string kind = flags.GetString("synthetic", "").value_or("");
+  const auto nodes = static_cast<isa::graph::NodeId>(
+      flags.GetInt("nodes", 10'000).value_or(10'000));
+  if (!path.empty()) {
+    graph_result = isa::graph::LoadEdgeListText(path);
+  } else if (kind == "ba") {
+    graph_result = isa::graph::GenerateBarabasiAlbert(
+        {.num_nodes = nodes, .edges_per_node = 4, .seed = seed});
+  } else if (kind == "rmat") {
+    isa::graph::RmatOptions opt;
+    opt.scale = 1;
+    while ((1u << opt.scale) < nodes) ++opt.scale;
+    opt.num_edges = static_cast<uint64_t>(nodes) * 8;
+    opt.seed = seed;
+    graph_result = isa::graph::GenerateRmat(opt);
+  } else if (kind == "er") {
+    graph_result = isa::graph::GenerateErdosRenyi(
+        {.num_nodes = nodes, .num_edges = static_cast<uint64_t>(nodes) * 8,
+         .seed = seed});
+  } else if (kind == "powerlaw") {
+    graph_result = isa::graph::GeneratePowerLaw(
+        {.num_nodes = nodes, .num_edges = static_cast<uint64_t>(nodes) * 7,
+         .seed = seed});
+  } else if (!kind.empty()) {
+    return Fail(isa::Status::InvalidArgument("unknown --synthetic: " + kind));
+  }
+  if (!graph_result.ok()) return Fail(graph_result.status());
+  const isa::graph::Graph& graph = graph_result.value();
+  std::fprintf(stderr, "graph: %u nodes, %u arcs\n", graph.num_nodes(),
+               graph.num_edges());
+
+  // ---- Influence model (weighted cascade; valid for both IC and LT). ----
+  auto topics_result = isa::topic::MakeWeightedCascade(graph, 1);
+  if (!topics_result.ok()) return Fail(topics_result.status());
+  const auto& topics = topics_result.value();
+
+  // ---- Advertisers & incentives. ----
+  const auto h =
+      static_cast<uint32_t>(flags.GetInt("ads", 3).value_or(3));
+  const double budget = flags.GetDouble("budget", 1000.0).value_or(1000.0);
+  const double cpe = flags.GetDouble("cpe", 1.0).value_or(1.0);
+  auto model_result = isa::core::ParseIncentiveModel(
+      flags.GetString("incentives", "linear").value_or("linear"));
+  if (!model_result.ok()) return Fail(model_result.status());
+  const double alpha = flags.GetDouble("alpha", 0.2).value_or(0.2);
+  if (h == 0 || budget <= 0 || cpe <= 0) {
+    return Fail(isa::Status::InvalidArgument(
+        "--ads, --budget and --cpe must be positive"));
+  }
+
+  auto spreads_result = isa::rrset::EstimateAllSingletonSpreads(
+      graph, topics.topic(0), 50'000, seed + 1);
+  if (!spreads_result.ok()) return Fail(spreads_result.status());
+  auto incentives_result = isa::core::ComputeIncentives(
+      model_result.value(), alpha, spreads_result.value());
+  if (!incentives_result.ok()) return Fail(incentives_result.status());
+
+  isa::core::AdvertiserSpec spec;
+  spec.cpe = cpe;
+  spec.budget = budget;
+  spec.gamma = isa::topic::TopicDistribution::Uniform(1);
+  auto instance_result = isa::core::RmInstance::Create(
+      graph, topics, std::vector<isa::core::AdvertiserSpec>(h, spec),
+      std::vector<std::vector<double>>(h, incentives_result.value()));
+  if (!instance_result.ok()) return Fail(instance_result.status());
+  const auto& instance = instance_result.value();
+
+  // ---- Algorithm. ----
+  isa::core::TiOptions options;
+  options.epsilon = flags.GetDouble("epsilon", 0.3).value_or(0.3);
+  options.window =
+      static_cast<uint32_t>(flags.GetInt("window", 0).value_or(0));
+  options.theta_cap = static_cast<uint64_t>(
+      flags.GetInt("theta-cap", 500'000).value_or(500'000));
+  options.seed = seed;
+  options.share_samples =
+      flags.GetBool("share-samples", false).value_or(false);
+  const std::string prop = flags.GetString("model", "ic").value_or("ic");
+  if (prop == "lt") {
+    options.propagation = isa::rrset::DiffusionModel::kLinearThreshold;
+  } else if (prop != "ic") {
+    return Fail(isa::Status::InvalidArgument("unknown --model: " + prop));
+  }
+
+  const std::string algo =
+      flags.GetString("algorithm", "ti-csrm").value_or("ti-csrm");
+  isa::Result<isa::core::TiResult> run(
+      isa::Status::InvalidArgument("unknown --algorithm: " + algo));
+  if (algo == "ti-csrm") run = isa::core::RunTiCsrm(instance, options);
+  else if (algo == "ti-carm") run = isa::core::RunTiCarm(instance, options);
+  else if (algo == "pagerank-gr") {
+    run = isa::core::RunPageRankGr(instance, options);
+  } else if (algo == "pagerank-rr") {
+    run = isa::core::RunPageRankRr(instance, options);
+  }
+  if (!run.ok()) return Fail(run.status());
+  const isa::core::TiResult& result = run.value();
+
+  // ---- Report. ----
+  isa::TableWriter table({"ad", "seeds", "revenue", "incentives", "payment",
+                          "budget", "theta", "RR memory"});
+  for (uint32_t j = 0; j < h; ++j) {
+    const auto& st = result.ad_stats[j];
+    table.AddCell(uint64_t{j});
+    table.AddCell(st.seeds);
+    table.AddCell(st.revenue, 2);
+    table.AddCell(st.seeding_cost, 2);
+    table.AddCell(st.payment, 2);
+    table.AddCell(instance.budget(j), 2);
+    table.AddCell(st.theta);
+    table.AddCell(isa::HumanBytes(st.rr_memory_bytes));
+    if (auto s = table.EndRow(); !s.ok()) return Fail(s);
+  }
+  table.Print(std::cout);
+  std::printf("%s: total revenue %.2f, seeding cost %.2f, %llu seeds, "
+              "%.2fs, RR memory %s\n",
+              algo.c_str(), result.total_revenue, result.total_seeding_cost,
+              (unsigned long long)result.total_seeds,
+              result.elapsed_seconds,
+              isa::HumanBytes(result.total_rr_memory_bytes).c_str());
+
+  const std::string csv =
+      flags.GetString("seeds-csv", "").value_or("");
+  if (!csv.empty()) {
+    isa::TableWriter rows({"ad", "seed_node", "incentive"});
+    for (uint32_t j = 0; j < h; ++j) {
+      for (auto u : result.allocation.seed_sets[j]) {
+        rows.AddCell(uint64_t{j});
+        rows.AddCell(uint64_t{u});
+        rows.AddCell(instance.incentive(j, u), 4);
+        if (auto s = rows.EndRow(); !s.ok()) return Fail(s);
+      }
+    }
+    if (auto s = rows.WriteCsvFile(csv); !s.ok()) return Fail(s);
+    std::fprintf(stderr, "wrote %s\n", csv.c_str());
+  }
+
+  if (flags.GetBool("validate", false).value_or(false)) {
+    isa::diffusion::CascadeSimulator sim(graph);
+    double mc_revenue = 0.0;
+    for (uint32_t j = 0; j < h; ++j) {
+      const auto& seeds = result.allocation.seed_sets[j];
+      if (seeds.empty()) continue;
+      mc_revenue += instance.cpe(j) *
+                    sim.EstimateSpread(instance.ad_probs(j), seeds, 2000,
+                                       seed + 7);
+    }
+    std::printf("Monte-Carlo validation: revenue %.2f (RR estimate "
+                "%.2f)\n",
+                mc_revenue, result.total_revenue);
+  }
+  return 0;
+}
