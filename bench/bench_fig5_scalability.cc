@@ -12,9 +12,18 @@
 // runs take minutes per point at laptop scale (EXPERIMENTS.md), and the
 // budget trend is already exhibited on DBLP*.
 
+// A third section, beyond the paper's figure, reports threads-vs-wallclock
+// for the deterministic parallel RR-sampling engine (ParallelSampler) on a
+// Barabási–Albert workload: same seed at every thread count, so each row
+// produces the identical sample and only wall-clock varies.
+
 #include <cstdio>
+#include <thread>
 
 #include "bench/bench_util.h"
+#include "graph/generators.h"
+#include "rrset/parallel_sampler.h"
+#include "rrset/rr_collection.h"
 
 namespace {
 
@@ -84,6 +93,49 @@ isa::core::RmInstance MakeInstance(const isa::eval::Dataset& ds, uint32_t h,
       "RmInstance");
 }
 
+// Threads-vs-wallclock sweep for the parallel RR-set sampling engine.
+// Emits one row per thread count with throughput (sets/s) and speedup vs
+// the 1-thread row, so BENCH_*.json captures the whole speedup curve.
+void RunParallelSamplerSweep(double scale) {
+  const auto n = static_cast<isa::graph::NodeId>(100'000 * scale);
+  isa::graph::BarabasiAlbertOptions gopt;
+  gopt.num_nodes = n;
+  gopt.edges_per_node = 5;
+  gopt.seed = 3;
+  const auto g = isa::bench::MustValue(isa::graph::GenerateBarabasiAlbert(gopt),
+                                       "GenerateBarabasiAlbert");
+  const std::vector<double> probs(g.num_edges(), 0.05);
+  const uint64_t sets = static_cast<uint64_t>(400'000 * scale);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  std::printf("\n=== Parallel RR sampling: threads vs wall-clock "
+              "(BA n=%u, m=%llu, %llu sets, hw=%u cores) ===\n\n",
+              g.num_nodes(), (unsigned long long)g.num_edges(),
+              (unsigned long long)sets, hw);
+  std::printf("%-8s  %-8s  %9s  %12s  %8s\n", "threads", "workers",
+              "seconds", "sets/sec", "speedup");
+
+  double base_seconds = 0.0;
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    isa::rrset::ParallelSamplerOptions popt;
+    popt.num_threads = threads;
+    isa::rrset::ParallelSampler sampler(
+        g, probs, isa::rrset::DiffusionModel::kIndependentCascade,
+        /*base_seed=*/42, popt);
+    isa::rrset::RrStore store(g.num_nodes());
+    isa::Stopwatch watch;
+    sampler.SampleAppend(store, sets);
+    const double seconds = watch.ElapsedSeconds();
+    if (threads == 1) base_seconds = seconds;
+    // "workers" is what actually ran: the sampler clamps the request to
+    // the hardware, so on few-core hosts high-thread rows coincide.
+    std::printf("%-8u  %-8u  %9.3f  %12.0f  %7.2fx\n", threads,
+                sampler.WorkerCountFor(sets), seconds,
+                static_cast<double>(sets) / seconds, base_seconds / seconds);
+    std::fflush(stdout);
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -116,5 +168,7 @@ int main() {
       RunBoth(inst, ds->name.c_str(), "budget", budget * scale);
     }
   }
+
+  RunParallelSamplerSweep(scale);
   return 0;
 }

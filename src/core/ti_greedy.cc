@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "graph/pagerank.h"
+#include "rrset/parallel_sampler.h"
 #include "rrset/rr_collection.h"
 #include "rrset/rr_sampler.h"
 
@@ -30,24 +31,23 @@ struct HeapEntry {
 // Per-advertiser working state of Algorithm 2.
 struct AdState {
   AdState(const graph::Graph& g, std::span<const double> probs,
-          const rrset::SampleSizerOptions& sizer_opts, uint64_t rng_seed,
+          const rrset::SampleSizerOptions& sizer_opts, uint64_t sampler_seed,
+          const rrset::ParallelSamplerOptions& sampler_opts,
           std::shared_ptr<rrset::RrStore> shared_store,
           rrset::DiffusionModel model, std::span<const double> costs,
           bool ratio_keyed)
       : collection(shared_store != nullptr
                        ? rrset::RrCollection(std::move(shared_store))
                        : rrset::RrCollection(g.num_nodes())),
-        sampler(g, probs, model),
+        sampler(g, probs, model, sampler_seed, sampler_opts),
         sizer(g, probs, sizer_opts),
-        rng(rng_seed),
         eligible(g.num_nodes(), 1),
         costs(costs),
         ratio_keyed_heap(ratio_keyed) {}
 
   rrset::RrCollection collection;
-  rrset::RrSampler sampler;
+  rrset::ParallelSampler sampler;
   rrset::SampleSizer sizer;
-  Rng rng;
   std::vector<uint8_t> eligible;  // unassigned globally & still in E for me
   std::vector<graph::NodeId> seeds;
 
@@ -188,16 +188,18 @@ Result<TiResult> RunTiGreedy(const RmInstance& instance,
     const bool ratio_keyed =
         options.candidate_rule == CandidateRule::kCoverageCostRatio &&
         (options.window == 0 || options.window >= n);
+    rrset::ParallelSamplerOptions sampler_opts;
+    sampler_opts.num_threads = options.num_threads;
     ads.push_back(std::make_unique<AdState>(
         g, instance.ad_probs(j), sizer_opts, HashSeed(options.seed, j),
-        store_of_ad[j], options.propagation, instance.incentives(j),
-        ratio_keyed));
+        sampler_opts, store_of_ad[j], options.propagation,
+        instance.incentives(j), ratio_keyed));
     AdState& ad = *ads.back();
     for (graph::NodeId v : options.excluded_nodes) {
       if (v < n) ad.eligible[v] = 0;
     }
     ad.theta = ad.sizer.ThetaFor(1);
-    ad.collection.AddSets(ad.sampler, ad.theta, ad.rng, {});
+    ad.collection.AddSets(ad.sampler, ad.theta, {});
     if (options.candidate_rule == CandidateRule::kPageRank) {
       auto pr = graph::WeightedPageRank(g, instance.ad_probs(j));
       if (!pr.ok()) return pr.status();
@@ -392,7 +394,7 @@ Result<TiResult> RunTiGreedy(const RmInstance& instance,
       ad.latent_s += inc;
       const uint64_t want = ad.sizer.ThetaFor(ad.latent_s);
       if (want > ad.theta) {
-        ad.collection.AddSets(ad.sampler, want - ad.theta, ad.rng, ad.seeds);
+        ad.collection.AddSets(ad.sampler, want - ad.theta, ad.seeds);
         ad.theta = want;
         ++ad.growth_events;
         if (options.candidate_rule != CandidateRule::kPageRank) {

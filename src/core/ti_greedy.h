@@ -63,6 +63,12 @@ struct TiOptions {
   uint32_t window = 0;
   /// Master seed; all per-ad samplers derive substreams from it.
   uint64_t seed = 42;
+  /// Worker threads for RR-set sampling (the driver's hot loop). 0 = use
+  /// hardware concurrency; 1 = legacy single-threaded execution (no worker
+  /// pool). The sampling engine derives one Rng substream per RR set from
+  /// `seed` (see rrset/parallel_sampler.h), so allocations are bit-identical
+  /// for a fixed seed at ANY thread count — the knob only changes wall-clock.
+  uint32_t num_threads = 0;
   /// Upper bound on θ per advertiser. Eq. 8 with small ε on large graphs can
   /// demand tens of millions of RR sets (the paper's runs used a 264 GB
   /// server); this valve keeps laptop-scale runs bounded while preserving

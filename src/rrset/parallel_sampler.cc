@@ -1,0 +1,93 @@
+#include "rrset/parallel_sampler.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace isa::rrset {
+
+ParallelSampler::ParallelSampler(const graph::Graph& g,
+                                 std::span<const double> probs,
+                                 DiffusionModel model, uint64_t base_seed,
+                                 ParallelSamplerOptions options)
+    : g_(g),
+      probs_(probs),
+      model_(model),
+      base_seed_(base_seed),
+      min_sets_per_thread_(std::max<uint64_t>(1, options.min_sets_per_thread)),
+      // Oversubscribing cores buys nothing here (the workload is pure CPU),
+      // and std::thread construction throws once the OS runs out of thread
+      // resources — clamp even explicit requests to a small multiple of the
+      // hardware. Determinism is unaffected: thread count never changes the
+      // sampled sets.
+      max_threads_(std::clamp(
+          options.num_threads != 0
+              ? options.num_threads
+              : std::max(1u, std::thread::hardware_concurrency()),
+          1u, 4 * std::max(1u, std::thread::hardware_concurrency()))) {}
+
+uint32_t ParallelSampler::WorkerCountFor(uint64_t count) const {
+  const uint64_t by_work = count / min_sets_per_thread_;
+  return static_cast<uint32_t>(
+      std::clamp<uint64_t>(by_work, 1, max_threads_));
+}
+
+void ParallelSampler::SampleRange(uint32_t w, uint64_t first_id,
+                                  uint64_t count, Shard* shard) {
+  if (workers_[w] == nullptr) {
+    workers_[w] = std::make_unique<RrSampler>(g_, probs_, model_);
+  }
+  RrSampler& sampler = *workers_[w];
+  shard->sizes.reserve(count);
+  std::vector<graph::NodeId> scratch;
+  for (uint64_t i = 0; i < count; ++i) {
+    Rng rng(HashSeed(base_seed_, first_id + i));
+    sampler.SampleInto(rng, &scratch);
+    shard->sizes.push_back(static_cast<uint32_t>(scratch.size()));
+    shard->nodes.insert(shard->nodes.end(), scratch.begin(), scratch.end());
+  }
+}
+
+void ParallelSampler::SampleAppend(RrStore& store, uint64_t count) {
+  if (count == 0) return;
+  const uint64_t first_id = store.num_sets();
+  const uint32_t workers = WorkerCountFor(count);
+  if (workers_.size() < workers) workers_.resize(workers);
+
+  if (workers == 1) {
+    // Inline path: no pool, still the per-id substreams, so the output is
+    // identical to any multi-worker run.
+    Shard shard;
+    SampleRange(0, first_id, count, &shard);
+    store.AppendBatch(shard.nodes, shard.sizes);
+    return;
+  }
+
+  // Contiguous id ranges per worker: worker w gets [lo_w, lo_{w+1}), the
+  // first `count % workers` ranges one set longer. Shards are merged in
+  // range order below, so ids land in the store exactly in sequence.
+  std::vector<Shard> shards(workers);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  const uint64_t base = count / workers;
+  const uint64_t extra = count % workers;
+  uint64_t lo = first_id;
+  for (uint32_t w = 0; w < workers; ++w) {
+    const uint64_t len = base + (w < extra ? 1 : 0);
+    pool.emplace_back([this, w, lo, len, &shards] {
+      SampleRange(w, lo, len, &shards[w]);
+    });
+    lo += len;
+  }
+  for (auto& t : pool) t.join();
+  for (const Shard& shard : shards) {
+    store.AppendBatch(shard.nodes, shard.sizes);
+  }
+  // Release the extra workers' epoch arrays (O(n) each): with one sampler
+  // per advertiser, keeping them alive between growth events would cost
+  // O(ads * threads * n) idle memory. Worker 0 persists for the inline
+  // path's tiny batches; multi-worker batches are large enough (>=
+  // 2 * min_sets_per_thread) to amortize re-creation.
+  workers_.resize(1);
+}
+
+}  // namespace isa::rrset

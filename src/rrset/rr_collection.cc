@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "rrset/parallel_sampler.h"
+
 namespace isa::rrset {
 
 // ---------------------------------------------------------------- RrStore
@@ -16,6 +18,24 @@ void RrStore::Sample(RrSampler& sampler, uint64_t count, Rng& rng) {
     rr_nodes_.insert(rr_nodes_.end(), scratch_.begin(), scratch_.end());
     rr_offsets_.push_back(rr_nodes_.size());
     for (graph::NodeId v : scratch_) node_to_sets_[v].push_back(set_id);
+  }
+}
+
+void RrStore::AppendBatch(std::span<const graph::NodeId> nodes,
+                          std::span<const uint32_t> sizes) {
+  // No exact-size reserve here: it would pin capacity == size and force a
+  // full reallocation on every incremental growth batch; push_back's
+  // geometric growth amortizes across batches instead.
+  size_t pos = 0;
+  for (uint32_t size : sizes) {
+    const uint32_t set_id = static_cast<uint32_t>(num_sets());
+    rr_nodes_.insert(rr_nodes_.end(), nodes.begin() + pos,
+                     nodes.begin() + pos + size);
+    for (uint32_t k = 0; k < size; ++k) {
+      node_to_sets_[nodes[pos + k]].push_back(set_id);
+    }
+    pos += size;
+    rr_offsets_.push_back(rr_nodes_.size());
   }
 }
 
@@ -46,6 +66,15 @@ void RrCollection::AddSets(RrSampler& sampler, uint64_t count, Rng& rng,
   const uint64_t target = theta_ + count;
   if (store_->num_sets() < target) {
     store_->Sample(sampler, target - store_->num_sets(), rng);
+  }
+  AdoptUpTo(target, current_seeds);
+}
+
+void RrCollection::AddSets(ParallelSampler& sampler, uint64_t count,
+                           std::span<const graph::NodeId> current_seeds) {
+  const uint64_t target = theta_ + count;
+  if (store_->num_sets() < target) {
+    sampler.SampleAppend(*store_, target - store_->num_sets());
   }
   AdoptUpTo(target, current_seeds);
 }

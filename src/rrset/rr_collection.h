@@ -39,6 +39,8 @@
 
 namespace isa::rrset {
 
+class ParallelSampler;
+
 /// Append-only flat storage of RR sets with an inverted index.
 class RrStore {
  public:
@@ -46,6 +48,11 @@ class RrStore {
 
   /// Samples `count` additional RR sets via `sampler` and indexes them.
   void Sample(RrSampler& sampler, uint64_t count, Rng& rng);
+
+  /// Appends pre-sampled sets: `sizes[k]` members of set k taken in order
+  /// from the concatenated `nodes`. Used by ParallelSampler's shard merge.
+  void AppendBatch(std::span<const graph::NodeId> nodes,
+                   std::span<const uint32_t> sizes);
 
   uint64_t num_sets() const { return rr_offsets_.size() - 1; }
   graph::NodeId num_nodes() const { return num_nodes_; }
@@ -91,6 +98,12 @@ class RrCollection {
   /// immediately so covered_fraction() stays the estimator of F_R(S) over
   /// the enlarged sample.
   void AddSets(RrSampler& sampler, uint64_t count, Rng& rng,
+               std::span<const graph::NodeId> current_seeds);
+
+  /// As above, but sampling through the deterministic parallel engine: the
+  /// adopted sets are bit-identical for a fixed sampler seed at any worker
+  /// count (see parallel_sampler.h).
+  void AddSets(ParallelSampler& sampler, uint64_t count,
                std::span<const graph::NodeId> current_seeds);
 
   /// Number of alive (not yet covered) adopted sets containing v. Divided

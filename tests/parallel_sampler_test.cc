@@ -1,0 +1,196 @@
+// Determinism and thread-safety of the parallel RR-set sampling engine
+// (rrset/parallel_sampler.h): a fixed seed must yield bit-identical stores
+// and bit-identical TI-CSRM allocations at any worker count.
+
+#include "rrset/parallel_sampler.h"
+
+#include <vector>
+
+#include "core/ti_greedy.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "rrset/rr_collection.h"
+#include "tests/test_util.h"
+#include "topic/tic_model.h"
+
+namespace isa {
+namespace {
+
+using graph::Graph;
+using rrset::ParallelSampler;
+using rrset::ParallelSamplerOptions;
+using rrset::RrStore;
+
+Graph MakeBaGraph(graph::NodeId n = 300) {
+  graph::BarabasiAlbertOptions opts;
+  opts.num_nodes = n;
+  opts.edges_per_node = 3;
+  opts.seed = 9;
+  auto g = graph::GenerateBarabasiAlbert(opts);
+  ISA_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+ParallelSampler MakeSampler(const Graph& g, std::span<const double> probs,
+                            uint32_t threads, uint64_t seed = 123,
+                            uint64_t min_sets_per_thread = 1) {
+  ParallelSamplerOptions opts;
+  opts.num_threads = threads;
+  opts.min_sets_per_thread = min_sets_per_thread;
+  return ParallelSampler(g, probs, rrset::DiffusionModel::kIndependentCascade,
+                         seed, opts);
+}
+
+void ExpectStoresIdentical(const RrStore& a, const RrStore& b) {
+  ASSERT_EQ(a.num_sets(), b.num_sets());
+  for (uint64_t r = 0; r < a.num_sets(); ++r) {
+    auto ma = a.SetMembers(r);
+    auto mb = b.SetMembers(r);
+    ASSERT_EQ(ma.size(), mb.size()) << "set " << r;
+    for (size_t k = 0; k < ma.size(); ++k) {
+      ASSERT_EQ(ma[k], mb[k]) << "set " << r << " member " << k;
+    }
+  }
+}
+
+TEST(ParallelSamplerTest, StoreBitIdenticalAcrossThreadCounts) {
+  const Graph g = MakeBaGraph();
+  const std::vector<double> probs(g.num_edges(), 0.1);
+  constexpr uint64_t kSets = 4000;
+
+  RrStore reference(g.num_nodes());
+  MakeSampler(g, probs, /*threads=*/1).SampleAppend(reference, kSets);
+  EXPECT_EQ(reference.num_sets(), kSets);
+
+  for (uint32_t threads : {2u, 8u}) {
+    RrStore store(g.num_nodes());
+    MakeSampler(g, probs, threads).SampleAppend(store, kSets);
+    SCOPED_TRACE(testing::Message() << threads << " threads");
+    ExpectStoresIdentical(reference, store);
+  }
+}
+
+TEST(ParallelSamplerTest, IncrementalGrowthMatchesOneBatch) {
+  const Graph g = MakeBaGraph();
+  const std::vector<double> probs(g.num_edges(), 0.1);
+
+  RrStore one_batch(g.num_nodes());
+  MakeSampler(g, probs, /*threads=*/4).SampleAppend(one_batch, 3000);
+
+  // Growing in uneven increments (as Algorithm 2's θ revisions do) must
+  // continue the per-id substream sequence exactly.
+  RrStore grown(g.num_nodes());
+  ParallelSampler sampler = MakeSampler(g, probs, /*threads=*/3);
+  for (uint64_t inc : {1ull, 7ull, 992ull, 1500ull, 500ull}) {
+    sampler.SampleAppend(grown, inc);
+  }
+  ExpectStoresIdentical(one_batch, grown);
+}
+
+TEST(ParallelSamplerTest, LinearThresholdModelIsDeterministicToo) {
+  const Graph g = MakeBaGraph();
+  // Weighted-cascade LT weights: 1/in-degree, Σ in-weights = 1.
+  std::vector<double> probs(g.num_edges(), 0.0);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto eids = g.InEdgeIds(v);
+    for (uint32_t eid : eids) {
+      probs[eid] = 1.0 / static_cast<double>(eids.size());
+    }
+  }
+  auto sample = [&](uint32_t threads) {
+    RrStore store(g.num_nodes());
+    ParallelSamplerOptions opts;
+    opts.num_threads = threads;
+    opts.min_sets_per_thread = 1;
+    ParallelSampler sampler(g, probs,
+                            rrset::DiffusionModel::kLinearThreshold, 77, opts);
+    sampler.SampleAppend(store, 2000);
+    return store;
+  };
+  const RrStore reference = sample(1);
+  const RrStore parallel = sample(8);
+  ExpectStoresIdentical(reference, parallel);
+}
+
+TEST(ParallelSamplerTest, CollectionAddSetsAdoptsParallelSamples) {
+  const Graph g = MakeBaGraph();
+  const std::vector<double> probs(g.num_edges(), 0.1);
+
+  rrset::RrCollection serial(g.num_nodes());
+  ParallelSampler s1 = MakeSampler(g, probs, /*threads=*/1);
+  serial.AddSets(s1, 2500, {});
+
+  rrset::RrCollection parallel(g.num_nodes());
+  ParallelSampler s8 = MakeSampler(g, probs, /*threads=*/8);
+  parallel.AddSets(s8, 2500, {});
+
+  ASSERT_EQ(serial.total_sets(), parallel.total_sets());
+  ExpectStoresIdentical(*serial.store(), *parallel.store());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(serial.CoverageOf(v), parallel.CoverageOf(v)) << "node " << v;
+  }
+}
+
+TEST(ParallelSamplerTest, TiCsrmAllocationInvariantAcrossThreadCounts) {
+  const Graph g = MakeBaGraph(200);
+  auto topics = topic::MakeUniform(g, 1, 0.08);
+  ISA_CHECK(topics.ok());
+
+  std::vector<core::AdvertiserSpec> ads(2);
+  ads[0].cpe = 1.0;
+  ads[0].budget = 40.0;
+  ads[1].cpe = 0.7;
+  ads[1].budget = 25.0;
+  for (auto& ad : ads) ad.gamma = topic::TopicDistribution::Uniform(1);
+  std::vector<std::vector<double>> incentives(
+      2, std::vector<double>(g.num_nodes(), 1.0));
+  auto inst = core::RmInstance::Create(g, topics.value(), std::move(ads),
+                                       std::move(incentives));
+  ISA_CHECK(inst.ok());
+
+  core::TiOptions options;
+  options.epsilon = 0.3;
+  options.seed = 4242;
+  options.theta_cap = 30'000;
+
+  std::vector<std::vector<graph::NodeId>> reference;
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    options.num_threads = threads;
+    auto result = core::RunTiCsrm(inst.value(), options);
+    ASSERT_TRUE(result.ok()) << result.status().message();
+    const auto& seed_sets = result.value().allocation.seed_sets;
+    ASSERT_FALSE(seed_sets.empty());
+    if (threads == 1u) {
+      reference = seed_sets;
+      // The run must actually select something, or the test is vacuous.
+      EXPECT_GT(result.value().total_seeds, 0u);
+    } else {
+      EXPECT_EQ(reference, seed_sets) << threads << " threads";
+    }
+  }
+}
+
+// Stress case for ThreadSanitizer builds: hammer one sampler with many
+// small multi-worker batches so shard hand-off and merge run thousands of
+// times. Assertions are deliberately light — under TSan the value of this
+// test is the absence of reported races.
+TEST(ParallelSamplerTest, StressManySmallBatches) {
+  const Graph g = MakeBaGraph(120);
+  const std::vector<double> probs(g.num_edges(), 0.15);
+  RrStore store(g.num_nodes());
+  ParallelSampler sampler = MakeSampler(g, probs, /*threads=*/8, 31337);
+  uint64_t expected = 0;
+  for (int round = 0; round < 200; ++round) {
+    const uint64_t batch = 1 + (round % 17);
+    sampler.SampleAppend(store, batch);
+    expected += batch;
+  }
+  EXPECT_EQ(store.num_sets(), expected);
+  // Every stored set must be non-empty (each contains at least its root).
+  for (uint64_t r = 0; r < store.num_sets(); ++r) {
+    ASSERT_FALSE(store.SetMembers(r).empty()) << "set " << r;
+  }
+}
+
+}  // namespace
+}  // namespace isa

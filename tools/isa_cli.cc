@@ -7,8 +7,7 @@
 // Examples:
 //   isa_cli --graph soc-Epinions1.txt --ads 5 --budget 5000 --alpha 0.2
 //   isa_cli --synthetic ba --nodes 10000 --ads 3 --algorithm ti-carm
-//   isa_cli --synthetic rmat --nodes 65536 --incentives superlinear \
-//           --alpha 0.0001 --algorithm ti-csrm --window 5000 --seeds-csv out.csv
+//   isa_cli --synthetic rmat --nodes 65536 --incentives superlinear --alpha 0.0001 --algorithm ti-csrm --window 5000 --seeds-csv out.csv
 
 #include <cstdio>
 #include <fstream>
@@ -44,8 +43,10 @@ constexpr const char* kUsage = R"(isa_cli — incentivized social advertising ca
   --epsilon E           RR estimation accuracy           [0.3]
   --window W            TI-CSRM window size (0 = full)   [0]
   --theta-cap T         max RR sets per advertiser       [500000]
+  --threads T           RR sampling workers (0 = hardware) [0]
   --share-samples       share RR stores across identical ads
-  --seed S              master RNG seed                  [42]
+  --seed S              master RNG seed (results are identical
+                        at any --threads for a fixed seed)  [42]
   --seeds-csv PATH      write the chosen (ad, seed, incentive) rows as CSV
   --validate            re-estimate revenue by Monte-Carlo after selection
 )";
@@ -62,7 +63,7 @@ int main(int argc, char** argv) {
       argc, argv,
       {"graph", "synthetic", "nodes", "ads", "budget", "cpe", "incentives",
        "alpha", "algorithm", "model", "epsilon", "window", "theta-cap",
-       "share-samples", "seed", "seeds-csv", "validate", "help"});
+       "threads", "share-samples", "seed", "seeds-csv", "validate", "help"});
   if (!flags_result.ok()) {
     std::fputs(kUsage, stderr);
     return Fail(flags_result.status());
@@ -154,6 +155,8 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(flags.GetInt("window", 0).value_or(0));
   options.theta_cap = static_cast<uint64_t>(
       flags.GetInt("theta-cap", 500'000).value_or(500'000));
+  options.num_threads =
+      static_cast<uint32_t>(flags.GetInt("threads", 0).value_or(0));
   options.seed = seed;
   options.share_samples =
       flags.GetBool("share-samples", false).value_or(false);
