@@ -11,11 +11,17 @@
 // LIVEJOURNAL* is restricted to the h sweep: its windowed TI-CSRM(5000)
 // runs take minutes per point at laptop scale (EXPERIMENTS.md), and the
 // budget trend is already exhibited on DBLP*.
-
-// A third section, beyond the paper's figure, reports threads-vs-wallclock
-// for the deterministic parallel RR-sampling engine (ParallelSampler) on a
-// Barabási–Albert workload: same seed at every thread count, so each row
-// produces the identical sample and only wall-clock varies.
+//
+// Beyond the paper's figure, two threads-vs-wallclock sweeps exercise the
+// deterministic parallel engine:
+//   - raw RR sampling throughput (ParallelSampler on a Barabási–Albert
+//     workload), with an FNV hash of the sampled store per thread count;
+//   - end-to-end RunTiGreedy (TI-CSRM(5000), DBLP*, h = 5), the shared-
+//     thread-pool path: parallel advertiser init + pilot, sampling, index
+//     build and coverage adoption.
+// Both sweeps verify bit-identical results across thread counts and the
+// bench EXITS NON-ZERO on a mismatch — CI runs it as a determinism gate.
+// Everything is also emitted to BENCH_fig5.json (see bench_util.h).
 
 #include <cstdio>
 #include <thread>
@@ -26,6 +32,10 @@
 #include "rrset/rr_collection.h"
 
 namespace {
+
+std::vector<std::string> g_paper_rows;     // JSON rows of the paper sweeps
+std::vector<std::string> g_sampler_rows;   // JSON rows of the sampler sweep
+std::vector<std::string> g_e2e_rows;       // JSON rows of the e2e sweep
 
 struct DatasetPlan {
   isa::eval::DatasetId id;
@@ -59,12 +69,24 @@ void RunBoth(const isa::core::RmInstance& inst, const char* dataset,
     isa::Stopwatch watch;
     auto res = isa::core::RunTiGreedy(inst, o);
     isa::bench::Check(res.status(), algo.name);
+    const double seconds = watch.ElapsedSeconds();
     std::printf("%-13s  %-7s  %-7.0f  %-14s  %8.3f  %6llu  %10.1f  %s\n",
-                dataset, sweep, x, algo.name, watch.ElapsedSeconds(),
+                dataset, sweep, x, algo.name, seconds,
                 (unsigned long long)res.value().total_seeds,
                 res.value().total_revenue,
                 isa::HumanBytes(res.value().total_rr_memory_bytes).c_str());
     std::fflush(stdout);
+    g_paper_rows.push_back(isa::bench::JsonObject()
+                               .Add("dataset", dataset)
+                               .Add("sweep", sweep)
+                               .Add("x", x)
+                               .Add("algorithm", algo.name)
+                               .Add("seconds", seconds)
+                               .Add("seeds", res.value().total_seeds)
+                               .Add("revenue", res.value().total_revenue)
+                               .Add("rr_bytes",
+                                    res.value().total_rr_memory_bytes)
+                               .str());
   }
 }
 
@@ -93,10 +115,27 @@ isa::core::RmInstance MakeInstance(const isa::eval::Dataset& ds, uint32_t h,
       "RmInstance");
 }
 
+// FNV-1a over the store's set members — a cheap fingerprint for the
+// cross-thread-count determinism gate.
+uint64_t HashStore(const isa::rrset::RrStore& store) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t x) {
+    h = (h ^ x) * 0x100000001b3ULL;
+  };
+  mix(store.num_sets());
+  for (uint64_t r = 0; r < store.num_sets(); ++r) {
+    const auto members = store.SetMembers(r);
+    mix(members.size());  // set boundaries matter, not just the node stream
+    for (isa::graph::NodeId v : members) mix(v);
+  }
+  return h;
+}
+
 // Threads-vs-wallclock sweep for the parallel RR-set sampling engine.
 // Emits one row per thread count with throughput (sets/s) and speedup vs
-// the 1-thread row, so BENCH_*.json captures the whole speedup curve.
-void RunParallelSamplerSweep(double scale) {
+// the 1-thread row, so BENCH_fig5.json captures the whole speedup curve.
+// Returns false on a cross-thread-count hash mismatch.
+bool RunParallelSamplerSweep(double scale) {
   const auto n = static_cast<isa::graph::NodeId>(100'000 * scale);
   isa::graph::BarabasiAlbertOptions gopt;
   gopt.num_nodes = n;
@@ -112,10 +151,12 @@ void RunParallelSamplerSweep(double scale) {
               "(BA n=%u, m=%llu, %llu sets, hw=%u cores) ===\n\n",
               g.num_nodes(), (unsigned long long)g.num_edges(),
               (unsigned long long)sets, hw);
-  std::printf("%-8s  %-8s  %9s  %12s  %8s\n", "threads", "workers",
-              "seconds", "sets/sec", "speedup");
+  std::printf("%-8s  %-8s  %9s  %12s  %8s  %18s\n", "threads", "workers",
+              "seconds", "sets/sec", "speedup", "store hash");
 
+  bool deterministic = true;
   double base_seconds = 0.0;
+  uint64_t base_hash = 0;
   for (uint32_t threads : {1u, 2u, 4u, 8u}) {
     isa::rrset::ParallelSamplerOptions popt;
     popt.num_threads = threads;
@@ -126,14 +167,103 @@ void RunParallelSamplerSweep(double scale) {
     isa::Stopwatch watch;
     sampler.SampleAppend(store, sets);
     const double seconds = watch.ElapsedSeconds();
-    if (threads == 1) base_seconds = seconds;
+    const uint64_t hash = HashStore(store);
+    if (threads == 1) {
+      base_seconds = seconds;
+      base_hash = hash;
+    } else if (hash != base_hash) {
+      deterministic = false;
+    }
     // "workers" is what actually ran: the sampler clamps the request to
     // the hardware, so on few-core hosts high-thread rows coincide.
-    std::printf("%-8u  %-8u  %9.3f  %12.0f  %7.2fx\n", threads,
+    std::printf("%-8u  %-8u  %9.3f  %12.0f  %7.2fx  0x%016llx\n", threads,
                 sampler.WorkerCountFor(sets), seconds,
-                static_cast<double>(sets) / seconds, base_seconds / seconds);
+                static_cast<double>(sets) / seconds, base_seconds / seconds,
+                (unsigned long long)hash);
     std::fflush(stdout);
+    char hash_str[24];
+    std::snprintf(hash_str, sizeof(hash_str), "0x%016llx",
+                  (unsigned long long)hash);
+    g_sampler_rows.push_back(
+        isa::bench::JsonObject()
+            .Add("threads", threads)
+            .Add("workers", sampler.WorkerCountFor(sets))
+            .Add("seconds", seconds)
+            .Add("sets_per_sec", static_cast<double>(sets) / seconds)
+            .Add("speedup", base_seconds / seconds)
+            .Add("store_hash", hash_str)
+            .str());
   }
+  return deterministic;
+}
+
+// End-to-end RunTiGreedy threads sweep on the fig5 workload: one shared
+// pool drives advertiser init (pilot + initial sample + heap), sampling,
+// index builds and adoption. Verifies the allocations are identical at
+// every thread count. Returns false on mismatch.
+bool RunE2eThreadSweep(const isa::eval::Dataset& ds, double fixed_budget) {
+  auto inst = MakeInstance(ds, /*h=*/5, fixed_budget);
+  auto opt = isa::bench::QualityTiOptions();
+  opt.epsilon = 0.3;
+  opt.theta_cap = 60'000;
+  opt.window = 5000;
+  opt.candidate_rule = isa::core::CandidateRule::kCoverageCostRatio;
+  opt.selection_rule = isa::core::SelectionRule::kMaxRate;
+
+  std::printf("\n=== End-to-end RunTiGreedy (TI-CSRM(5000), %s, h=5): "
+              "threads vs wall-clock ===\n\n",
+              ds.name.c_str());
+  std::printf("%-8s  %9s  %8s  %6s  %10s\n", "threads", "seconds", "speedup",
+              "seeds", "revenue");
+
+  bool deterministic = true;
+  double base_seconds = 0.0;
+  isa::core::TiResult base;
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    auto o = opt;
+    o.num_threads = threads;
+    isa::Stopwatch watch;
+    auto res = isa::core::RunTiGreedy(inst, o);
+    isa::bench::Check(res.status(), "e2e sweep");
+    const double seconds = watch.ElapsedSeconds();
+    const isa::core::TiResult& r = res.value();
+    if (threads == 1) {
+      base_seconds = seconds;
+      base = r;
+    } else {
+      // The documented invariant is the whole TiResult, not just the
+      // chosen seeds — gate on the per-ad revenue/payment/θ doubles
+      // bitwise too.
+      bool same = r.allocation.seed_sets == base.allocation.seed_sets &&
+                  r.total_revenue == base.total_revenue &&
+                  r.total_seeding_cost == base.total_seeding_cost &&
+                  r.total_theta == base.total_theta &&
+                  r.ad_stats.size() == base.ad_stats.size();
+      for (size_t j = 0; same && j < r.ad_stats.size(); ++j) {
+        const auto& a = base.ad_stats[j];
+        const auto& b = r.ad_stats[j];
+        same = a.theta == b.theta && a.revenue == b.revenue &&
+               a.payment == b.payment && a.seeding_cost == b.seeding_cost &&
+               a.latent_seed_size == b.latent_seed_size;
+      }
+      if (!same) deterministic = false;
+    }
+    std::printf("%-8u  %9.3f  %7.2fx  %6llu  %10.1f\n", threads, seconds,
+                base_seconds / seconds,
+                (unsigned long long)res.value().total_seeds,
+                res.value().total_revenue);
+    std::fflush(stdout);
+    g_e2e_rows.push_back(isa::bench::JsonObject()
+                             .Add("threads", threads)
+                             .Add("seconds", seconds)
+                             .Add("speedup", base_seconds / seconds)
+                             .Add("seeds", res.value().total_seeds)
+                             .Add("revenue", res.value().total_revenue)
+                             .Add("rr_bytes",
+                                  res.value().total_rr_memory_bytes)
+                             .str());
+  }
+  return deterministic;
 }
 
 }  // namespace
@@ -153,6 +283,7 @@ int main() {
       {isa::eval::DatasetId::kLiveJournal, 3'000 * scale, 10, {}},
   };
 
+  bool e2e_deterministic = true;
   for (const DatasetPlan& plan : plans) {
     auto ds = isa::bench::MustValue(
         isa::eval::BuildDataset(plan.id, scale, 2017), "BuildDataset");
@@ -167,8 +298,33 @@ int main() {
       auto inst = MakeInstance(*ds, 5, budget * scale);
       RunBoth(inst, ds->name.c_str(), "budget", budget * scale);
     }
+    if (plan.id == isa::eval::DatasetId::kDblp) {
+      e2e_deterministic = RunE2eThreadSweep(*ds, plan.fixed_budget);
+    }
   }
 
-  RunParallelSamplerSweep(scale);
+  const bool sampler_deterministic = RunParallelSamplerSweep(scale);
+
+  isa::bench::WriteBenchJson(
+      "BENCH_fig5.json",
+      isa::bench::JsonObject()
+          .Add("bench", "fig5_scalability")
+          .Add("scale", scale)
+          .Add("hardware_concurrency",
+               std::max(1u, std::thread::hardware_concurrency()))
+          .Add("determinism_ok", sampler_deterministic && e2e_deterministic)
+          .AddRaw("paper_sweeps", isa::bench::JsonArray(g_paper_rows))
+          .AddRaw("e2e_thread_sweep", isa::bench::JsonArray(g_e2e_rows))
+          .AddRaw("sampler_thread_sweep",
+                  isa::bench::JsonArray(g_sampler_rows))
+          .str());
+
+  if (!sampler_deterministic || !e2e_deterministic) {
+    std::fprintf(stderr,
+                 "[bench] DETERMINISM MISMATCH across thread counts "
+                 "(sampler_ok=%d, e2e_ok=%d)\n",
+                 sampler_deterministic, e2e_deterministic);
+    return 1;
+  }
   return 0;
 }

@@ -12,9 +12,12 @@
 #ifndef ISA_BENCH_BENCH_UTIL_H_
 #define ISA_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/logging.h"
@@ -146,6 +149,92 @@ inline const std::vector<core::IncentiveModel>& AllIncentiveModels() {
       core::IncentiveModel::kLinear, core::IncentiveModel::kConstant,
       core::IncentiveModel::kSublinear, core::IncentiveModel::kSuperlinear};
   return kModels;
+}
+
+// --- Machine-readable bench artifacts (BENCH_*.json) ---
+//
+// Benches print human-readable tables to stdout AND drop a BENCH_<name>.json
+// next to them (or into $ISA_BENCH_JSON_DIR) so CI and the checked-in
+// results under bench/results/ can be diffed and plotted without scraping.
+
+/// Incremental "{...}" builder — enough JSON for flat bench rows.
+class JsonObject {
+ public:
+  JsonObject& Add(std::string_view key, double v) {
+    char buf[64];
+    if (!std::isfinite(v)) {
+      std::snprintf(buf, sizeof(buf), "null");
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.10g", v);
+    }
+    return AddRaw(key, buf);
+  }
+  JsonObject& Add(std::string_view key, uint64_t v) {
+    return AddRaw(key, std::to_string(v));
+  }
+  JsonObject& Add(std::string_view key, uint32_t v) {
+    return Add(key, static_cast<uint64_t>(v));
+  }
+  JsonObject& Add(std::string_view key, int v) {
+    return AddRaw(key, std::to_string(v));
+  }
+  JsonObject& Add(std::string_view key, bool v) {
+    return AddRaw(key, v ? "true" : "false");
+  }
+  // Without this overload a string literal would take the bool overload
+  // (pointer->bool is a standard conversion, ->string_view user-defined).
+  JsonObject& Add(std::string_view key, const char* v) {
+    return Add(key, std::string_view(v));
+  }
+  JsonObject& Add(std::string_view key, std::string_view v) {
+    std::string quoted = "\"";
+    for (char c : v) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    return AddRaw(key, quoted);
+  }
+  /// Pre-serialized value (nested object or array).
+  JsonObject& AddRaw(std::string_view key, std::string_view value) {
+    if (!body_.empty()) body_ += ", ";
+    body_ += '"';
+    body_ += key;
+    body_ += "\": ";
+    body_ += value;
+    return *this;
+  }
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+inline std::string JsonArray(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items[i];
+  }
+  out += "]";
+  return out;
+}
+
+/// Writes `json` to $ISA_BENCH_JSON_DIR/<filename> (default: cwd) and
+/// reports the path on stderr. Aborts the bench on I/O failure.
+inline void WriteBenchJson(const char* filename, const std::string& json) {
+  const char* dir = std::getenv("ISA_BENCH_JSON_DIR");
+  const std::string path =
+      (dir != nullptr && *dir != '\0' ? std::string(dir) + "/" : std::string()) +
+      filename;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "%s\n", json.c_str());
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
 }
 
 }  // namespace isa::bench

@@ -1,12 +1,15 @@
 #include "core/ti_greedy.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <memory>
+#include <unordered_map>
 
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "graph/pagerank.h"
 #include "rrset/parallel_sampler.h"
 #include "rrset/rr_collection.h"
@@ -133,6 +136,27 @@ bool RatioGreater(double a, double b, double c, double d) {
   return a * d > c * b;
 }
 
+// Content hash of an ad's Eq.-1 probability vector. -0.0 is canonicalized
+// to +0.0 so vectors equal under operator== (the old pairwise-std::equal
+// grouping criterion) always land in the same bucket; equality is still
+// re-verified on hash match.
+uint64_t HashProbVector(std::span<const double> probs) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ probs.size();
+  for (double x : probs) {
+    if (x == 0.0) x = 0.0;
+    h = SplitMix64(h ^ std::bit_cast<uint64_t>(x)).Next();
+  }
+  return h;
+}
+
+// Driver-side per-ad buffers, charged into TiAdStats::rr_memory_bytes so
+// Table 3 reports the true working set, not just the RR arrays.
+uint64_t AdWorkingBufferBytes(const AdState& ad) {
+  return ad.heap.capacity() * sizeof(HeapEntry) + ad.eligible.capacity() +
+         ad.pr_order.capacity() * sizeof(graph::NodeId) +
+         ad.seeds.capacity() * sizeof(graph::NodeId);
+}
+
 }  // namespace
 
 Result<TiResult> RunTiGreedy(const RmInstance& instance,
@@ -150,63 +174,97 @@ Result<TiResult> RunTiGreedy(const RmInstance& instance,
   Stopwatch watch;
   const double dn = static_cast<double>(n);
 
+  // One worker pool per invocation, shared by every parallel stage below
+  // (declared before `ads` so the AdStates that borrow it die first).
+  ThreadPool pool(options.num_threads);
+
   // ---- Initialization (Algorithm 2 lines 1-4). ----
   // With share_samples, advertisers whose Eq. 1 probabilities are bitwise
-  // identical (pure-competition ads) are grouped onto one RR store.
+  // identical (pure-competition ads) are grouped onto one RR store. A
+  // single hash-of-contents pass replaces the old O(h²·n) pairwise
+  // std::equal sweep; equality is re-verified within a hash bucket, so a
+  // hash collision can only cost a comparison, never a wrong grouping.
   std::vector<std::shared_ptr<rrset::RrStore>> store_of_ad(h);
+  std::vector<std::vector<uint32_t>> groups;  // ads per store, ascending
+  groups.reserve(h);
   if (options.share_samples) {
-    std::vector<uint32_t> group_leader;
+    std::unordered_map<uint64_t, std::vector<size_t>> groups_by_hash;
     for (uint32_t j = 0; j < h; ++j) {
       const auto probs_j = instance.ad_probs(j);
+      auto& bucket = groups_by_hash[HashProbVector(probs_j)];
       bool found = false;
-      for (uint32_t leader : group_leader) {
-        const auto probs_l = instance.ad_probs(leader);
+      for (size_t gi : bucket) {
+        const auto probs_l = instance.ad_probs(groups[gi].front());
         if (std::equal(probs_j.begin(), probs_j.end(), probs_l.begin(),
                        probs_l.end())) {
-          store_of_ad[j] = store_of_ad[leader];
+          store_of_ad[j] = store_of_ad[groups[gi].front()];
+          groups[gi].push_back(j);
           found = true;
           break;
         }
       }
       if (!found) {
         store_of_ad[j] = std::make_shared<rrset::RrStore>(n);
-        group_leader.push_back(j);
+        bucket.push_back(groups.size());
+        groups.push_back({j});
       }
     }
+  } else {
+    for (uint32_t j = 0; j < h; ++j) groups.push_back({j});
   }
 
-  std::vector<std::unique_ptr<AdState>> ads;
-  ads.reserve(h);
+  // Per-advertiser init — KPT pilot, initial θ_j sample, PageRank/heap
+  // build — is independent across stores (ads sharing a store must adopt
+  // its prefix in ad order, so each group is one task that handles its ads
+  // in sequence). Each ad draws only from its own HashSeed(seed, j)
+  // substreams, so results are bit-identical at any worker count. Tasks
+  // themselves reenter the pool for sampling (see common/thread_pool.h).
+  std::vector<std::unique_ptr<AdState>> ads(h);
+  std::vector<Status> init_status(h);
+  pool.Run(groups.size(), [&](uint64_t gi) {
+    for (uint32_t j : groups[gi]) {
+      rrset::SampleSizerOptions sizer_opts;
+      sizer_opts.epsilon = options.epsilon;
+      sizer_opts.ell = options.ell;
+      sizer_opts.run_kpt_pilot = options.kpt_pilot;
+      sizer_opts.theta_cap = options.theta_cap;
+      sizer_opts.seed = HashSeed(options.seed, 1000 + j);
+      sizer_opts.model = options.propagation;
+      // When the group tasks alone saturate the pool, a nested parallel
+      // pilot buys no wall-clock but allocates O(concurrency) private
+      // samplers (O(n) epoch arrays) per concurrent pilot; run those
+      // pilots serially instead — the widths are bit-identical either way.
+      sizer_opts.pool = groups.size() >= pool.concurrency() ? nullptr : &pool;
+      const bool ratio_keyed =
+          options.candidate_rule == CandidateRule::kCoverageCostRatio &&
+          (options.window == 0 || options.window >= n);
+      rrset::ParallelSamplerOptions sampler_opts;
+      sampler_opts.num_threads = options.num_threads;
+      sampler_opts.pool = &pool;
+      ads[j] = std::make_unique<AdState>(
+          g, instance.ad_probs(j), sizer_opts, HashSeed(options.seed, j),
+          sampler_opts, store_of_ad[j], options.propagation,
+          instance.incentives(j), ratio_keyed);
+      AdState& ad = *ads[j];
+      for (graph::NodeId v : options.excluded_nodes) {
+        if (v < n) ad.eligible[v] = 0;
+      }
+      ad.theta = ad.sizer.ThetaFor(1);
+      ad.collection.AddSets(ad.sampler, ad.theta, {});
+      if (options.candidate_rule == CandidateRule::kPageRank) {
+        auto pr = graph::WeightedPageRank(g, instance.ad_probs(j));
+        if (!pr.ok()) {
+          init_status[j] = pr.status();
+          return;
+        }
+        ad.pr_order = graph::RankByScore(pr.value());
+      } else {
+        ad.RebuildHeap();
+      }
+    }
+  });
   for (uint32_t j = 0; j < h; ++j) {
-    rrset::SampleSizerOptions sizer_opts;
-    sizer_opts.epsilon = options.epsilon;
-    sizer_opts.ell = options.ell;
-    sizer_opts.run_kpt_pilot = options.kpt_pilot;
-    sizer_opts.theta_cap = options.theta_cap;
-    sizer_opts.seed = HashSeed(options.seed, 1000 + j);
-    sizer_opts.model = options.propagation;
-    const bool ratio_keyed =
-        options.candidate_rule == CandidateRule::kCoverageCostRatio &&
-        (options.window == 0 || options.window >= n);
-    rrset::ParallelSamplerOptions sampler_opts;
-    sampler_opts.num_threads = options.num_threads;
-    ads.push_back(std::make_unique<AdState>(
-        g, instance.ad_probs(j), sizer_opts, HashSeed(options.seed, j),
-        sampler_opts, store_of_ad[j], options.propagation,
-        instance.incentives(j), ratio_keyed));
-    AdState& ad = *ads.back();
-    for (graph::NodeId v : options.excluded_nodes) {
-      if (v < n) ad.eligible[v] = 0;
-    }
-    ad.theta = ad.sizer.ThetaFor(1);
-    ad.collection.AddSets(ad.sampler, ad.theta, {});
-    if (options.candidate_rule == CandidateRule::kPageRank) {
-      auto pr = graph::WeightedPageRank(g, instance.ad_probs(j));
-      if (!pr.ok()) return pr.status();
-      ad.pr_order = graph::RankByScore(pr.value());
-    } else {
-      ad.RebuildHeap();
-    }
+    if (!init_status[j].ok()) return init_status[j];
   }
 
   // Window for the cost-sensitive candidate rule (0 = all nodes).
@@ -422,12 +480,15 @@ Result<TiResult> RunTiGreedy(const RmInstance& instance,
     st.revenue = ad.revenue;
     st.seeding_cost = ad.seeding_cost;
     st.payment = ad.payment;
-    st.rr_memory_bytes = ad.collection.MemoryBytes(/*include_store=*/false);
+    st.rr_memory_bytes = ad.collection.MemoryBytes(/*include_store=*/false) +
+                         AdWorkingBufferBytes(ad);
     const rrset::RrStore* store = ad.collection.store().get();
     if (std::find(counted_stores.begin(), counted_stores.end(), store) ==
         counted_stores.end()) {
       counted_stores.push_back(store);
       st.rr_memory_bytes += store->MemoryBytes();
+      st.rr_index_bytes = store->IndexBytes();
+      st.rr_index_legacy_bytes = store->LegacyIndexBytes();
     }
     st.sample_growth_events = ad.growth_events;
     result.total_revenue += ad.revenue;
@@ -435,6 +496,8 @@ Result<TiResult> RunTiGreedy(const RmInstance& instance,
     result.total_seeds += st.seeds;
     result.total_theta += st.theta;
     result.total_rr_memory_bytes += st.rr_memory_bytes;
+    result.total_rr_index_bytes += st.rr_index_bytes;
+    result.total_rr_index_legacy_bytes += st.rr_index_legacy_bytes;
   }
   result.elapsed_seconds = watch.ElapsedSeconds();
   return result;

@@ -63,11 +63,17 @@ struct TiOptions {
   uint32_t window = 0;
   /// Master seed; all per-ad samplers derive substreams from it.
   uint64_t seed = 42;
-  /// Worker threads for RR-set sampling (the driver's hot loop). 0 = use
+  /// Worker threads for the driver's parallel engine. One common::ThreadPool
+  /// of this size is created per RunTiGreedy invocation and shared by every
+  /// parallel stage: per-advertiser initialization (KPT pilot, initial θ_j
+  /// sampling, PageRank/heap build — advertisers are independent), RR-set
+  /// sampling, the inverted-index build, and coverage adoption. 0 = use
   /// hardware concurrency; 1 = legacy single-threaded execution (no worker
-  /// pool). The sampling engine derives one Rng substream per RR set from
-  /// `seed` (see rrset/parallel_sampler.h), so allocations are bit-identical
-  /// for a fixed seed at ANY thread count — the knob only changes wall-clock.
+  /// pool). Every stage derives per-item Rng substreams from `seed` (see
+  /// rrset/parallel_sampler.h, rrset/sample_sizer.h) or merges integer
+  /// counts in fixed order, so the full TiResult — allocations, revenue,
+  /// payments — is bit-identical for a fixed seed at ANY thread count; the
+  /// knob only changes wall-clock.
   uint32_t num_threads = 0;
   /// Upper bound on θ per advertiser. Eq. 8 with small ε on large graphs can
   /// demand tens of millions of RR sets (the paper's runs used a 264 GB
@@ -109,7 +115,15 @@ struct TiAdStats {
   double revenue = 0.0;        // π_j(S_j) (RR estimate)
   double seeding_cost = 0.0;   // c_j(S_j)
   double payment = 0.0;        // ρ_j(S_j)
+  /// Honest working-set bytes for this ad: the RR store (charged to the
+  /// first ad using it), the coverage view, and the driver's per-ad buffers
+  /// (candidate heap, eligibility bitmap, PageRank order).
   uint64_t rr_memory_bytes = 0;
+  /// Inverted-index share of the store bytes (charged like the store), and
+  /// what the pre-CSR vector<vector> layout would have reported for the
+  /// same postings — the Table 3 before/after comparison.
+  uint64_t rr_index_bytes = 0;
+  uint64_t rr_index_legacy_bytes = 0;
   uint64_t sample_growth_events = 0;
 };
 
@@ -121,6 +135,8 @@ struct TiResult {
   uint64_t total_seeds = 0;
   uint64_t total_theta = 0;
   uint64_t total_rr_memory_bytes = 0;
+  uint64_t total_rr_index_bytes = 0;
+  uint64_t total_rr_index_legacy_bytes = 0;
   double elapsed_seconds = 0.0;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "common/thread_pool.h"
+
 namespace isa::rrset {
 
 ParallelSampler::ParallelSampler(const graph::Graph& g,
@@ -14,21 +16,39 @@ ParallelSampler::ParallelSampler(const graph::Graph& g,
       model_(model),
       base_seed_(base_seed),
       min_sets_per_thread_(std::max<uint64_t>(1, options.min_sets_per_thread)),
-      // Oversubscribing cores buys nothing here (the workload is pure CPU),
-      // and std::thread construction throws once the OS runs out of thread
-      // resources — clamp even explicit requests to a small multiple of the
-      // hardware. Determinism is unaffected: thread count never changes the
-      // sampled sets.
+      // max_threads_ bounds shard count and per-worker sampler memory, not
+      // just threads, so even explicit requests are capped: by the borrowed
+      // pool's concurrency, or by a small multiple of the hardware (over-
+      // subscribing pure-CPU work buys nothing). Determinism is unaffected:
+      // worker count never changes the sampled sets.
       max_threads_(std::clamp(
           options.num_threads != 0
               ? options.num_threads
-              : std::max(1u, std::thread::hardware_concurrency()),
-          1u, 4 * std::max(1u, std::thread::hardware_concurrency()))) {}
+              : (options.pool != nullptr
+                     ? options.pool->concurrency()
+                     : std::max(1u, std::thread::hardware_concurrency())),
+          1u,
+          options.pool != nullptr
+              ? options.pool->concurrency()
+              : 4 * std::max(1u, std::thread::hardware_concurrency()))),
+      borrowed_pool_(options.pool) {}
+
+ParallelSampler::~ParallelSampler() = default;
+ParallelSampler::ParallelSampler(ParallelSampler&&) noexcept = default;
 
 uint32_t ParallelSampler::WorkerCountFor(uint64_t count) const {
   const uint64_t by_work = count / min_sets_per_thread_;
   return static_cast<uint32_t>(
       std::clamp<uint64_t>(by_work, 1, max_threads_));
+}
+
+ThreadPool* ParallelSampler::pool() {
+  if (max_threads_ <= 1) return nullptr;  // explicit single-thread request
+  if (borrowed_pool_ != nullptr) return borrowed_pool_;
+  if (owned_pool_ == nullptr) {
+    owned_pool_ = std::make_unique<ThreadPool>(max_threads_);
+  }
+  return owned_pool_.get();
 }
 
 void ParallelSampler::SampleRange(uint32_t w, uint64_t first_id,
@@ -54,11 +74,19 @@ void ParallelSampler::SampleAppend(RrStore& store, uint64_t count) {
   if (workers_.size() < workers) workers_.resize(workers);
 
   if (workers == 1) {
-    // Inline path: no pool, still the per-id substreams, so the output is
-    // identical to any multi-worker run.
+    // Inline path: no pool dispatch, still the per-id substreams, so the
+    // output is identical to any multi-worker run. An already-live pool is
+    // forwarded for the index build, but none is created just for it: a
+    // small batch can still trip a full-index compaction (the threshold is
+    // over TOTAL unindexed postings), which then runs serially for a
+    // standalone sampler whose pool was never needed for sampling — an
+    // accepted trade-off; the driver always passes a borrowed pool.
     Shard shard;
     SampleRange(0, first_id, count, &shard);
-    store.AppendBatch(shard.nodes, shard.sizes);
+    store.AppendBatch(shard.nodes, shard.sizes,
+                      max_threads_ > 1 && borrowed_pool_ != nullptr
+                          ? borrowed_pool_
+                          : owned_pool_.get());
     return;
   }
 
@@ -66,22 +94,34 @@ void ParallelSampler::SampleAppend(RrStore& store, uint64_t count) {
   // first `count % workers` ranges one set longer. Shards are merged in
   // range order below, so ids land in the store exactly in sequence.
   std::vector<Shard> shards(workers);
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
+  std::vector<uint64_t> lo(workers + 1, first_id);
   const uint64_t base = count / workers;
   const uint64_t extra = count % workers;
-  uint64_t lo = first_id;
   for (uint32_t w = 0; w < workers; ++w) {
-    const uint64_t len = base + (w < extra ? 1 : 0);
-    pool.emplace_back([this, w, lo, len, &shards] {
-      SampleRange(w, lo, len, &shards[w]);
-    });
-    lo += len;
+    lo[w + 1] = lo[w] + base + (w < extra ? 1 : 0);
   }
-  for (auto& t : pool) t.join();
+  ThreadPool* p = pool();
+  p->Run(workers, [&](uint64_t w) {
+    SampleRange(static_cast<uint32_t>(w), lo[w], lo[w + 1] - lo[w],
+                &shards[w]);
+  });
+
+  // Merge the shards in id order into one contiguous batch so the store
+  // sees (and indexes) the whole append as a unit — the resulting store,
+  // including vector capacities, is identical to a 1-worker run.
+  Shard merged;
+  merged.sizes.reserve(count);
+  size_t total_nodes = 0;
+  for (const Shard& s : shards) total_nodes += s.nodes.size();
+  merged.nodes.reserve(total_nodes);
   for (const Shard& shard : shards) {
-    store.AppendBatch(shard.nodes, shard.sizes);
+    merged.sizes.insert(merged.sizes.end(), shard.sizes.begin(),
+                        shard.sizes.end());
+    merged.nodes.insert(merged.nodes.end(), shard.nodes.begin(),
+                        shard.nodes.end());
   }
+  store.AppendBatch(merged.nodes, merged.sizes, p);
+
   // Release the extra workers' epoch arrays (O(n) each): with one sampler
   // per advertiser, keeping them alive between growth events would cost
   // O(ads * threads * n) idle memory. Worker 0 persists for the inline

@@ -10,15 +10,19 @@
 //   - set `i`'s content depends only on (base_seed, i): sampling with 1, 2
 //     or 64 workers yields bit-identical stores;
 //   - workers take contiguous id ranges, sample into private shard buffers,
-//     and the shards are appended to the store in ascending id order — the
+//     and the shards are merged into the store in ascending id order — the
 //     merge order is keyed by (shard, index), never by completion time;
 //   - repeated SampleAppend calls continue the id sequence exactly where
 //     the store left off, so incremental sample growth (Algorithm 2 line
 //     19) is as deterministic as one big batch.
 //
-// The per-set Rng re-seed costs four SplitMix64 draws — noise next to the
-// reverse BFS each set runs. Each worker keeps its own RrSampler (epoch
-// array), reused across calls.
+// Execution: shard tasks run on a ThreadPool — either one *borrowed*
+// through ParallelSamplerOptions::pool (the shared per-RunTiGreedy pool,
+// so the driver's many samplers reuse one set of threads) or, for
+// standalone use, a pool the sampler lazily creates and owns. Either way
+// no thread is spawned per batch. The per-set Rng re-seed costs four
+// SplitMix64 draws — noise next to the reverse BFS each set runs. Each
+// worker keeps its own RrSampler (epoch array), reused across calls.
 
 #ifndef ISA_RRSET_PARALLEL_SAMPLER_H_
 #define ISA_RRSET_PARALLEL_SAMPLER_H_
@@ -33,28 +37,42 @@
 #include "rrset/rr_collection.h"
 #include "rrset/rr_sampler.h"
 
+namespace isa {
+class ThreadPool;
+}
+
 namespace isa::rrset {
 
 struct ParallelSamplerOptions {
-  /// Worker threads. 0 = std::thread::hardware_concurrency(); 1 = run
-  /// inline on the calling thread (legacy execution path, no pool) — the
-  /// sampled sets are identical either way, only wall-clock changes.
+  /// Worker threads. 0 = std::thread::hardware_concurrency() (or, when
+  /// `pool` is set, the pool's concurrency); 1 = run inline on the calling
+  /// thread (legacy execution path) — the sampled sets are identical either
+  /// way, only wall-clock changes.
   uint32_t num_threads = 0;
   /// Below this many sets per would-be worker, fewer workers are used
-  /// (down to inline execution): spawning threads for a handful of sets
+  /// (down to inline execution): parallel dispatch for a handful of sets
   /// costs more than it saves.
   uint64_t min_sets_per_thread = 64;
+  /// Borrowed pool to run shard tasks on (not owned; must outlive the
+  /// sampler). When null, the sampler lazily creates a private pool the
+  /// first time a batch is worth parallelizing.
+  ThreadPool* pool = nullptr;
 };
 
 /// Samples RR sets for one (graph, arc-probability) pair across a worker
 /// pool, appending to an RrStore in deterministic order. Not thread-safe
-/// itself (one ParallelSampler per advertiser, as with RrSampler).
+/// itself (one ParallelSampler per advertiser, as with RrSampler), though
+/// many samplers may share one borrowed pool — including reentrantly from
+/// tasks already running on that pool (see common/thread_pool.h).
 class ParallelSampler {
  public:
   /// `probs` is indexed by forward EdgeId and must outlive the sampler.
   ParallelSampler(const graph::Graph& g, std::span<const double> probs,
                   DiffusionModel model, uint64_t base_seed,
                   ParallelSamplerOptions options = {});
+  // Out of line: the owned pool's deleter needs the complete ThreadPool.
+  ~ParallelSampler();
+  ParallelSampler(ParallelSampler&&) noexcept;
 
   /// Samples `count` RR sets with absolute ids [store.num_sets(),
   /// store.num_sets() + count) and appends them to `store` in id order.
@@ -62,6 +80,12 @@ class ParallelSampler {
 
   /// Workers that would be used for a `count`-set batch (diagnostics).
   uint32_t WorkerCountFor(uint64_t count) const;
+
+  /// The pool shard tasks run on: the borrowed one, or the lazily created
+  /// private one. Null when this sampler is single-threaded (max_threads
+  /// 1) and will never parallelize. Exposed so downstream consumers of a
+  /// batch (index build, coverage adoption) can share the same threads.
+  ThreadPool* pool();
 
   uint64_t base_seed() const { return base_seed_; }
   uint32_t max_threads() const { return max_threads_; }
@@ -85,6 +109,8 @@ class ParallelSampler {
   uint64_t base_seed_;
   uint64_t min_sets_per_thread_;
   uint32_t max_threads_;
+  ThreadPool* borrowed_pool_;
+  std::unique_ptr<ThreadPool> owned_pool_;
   // Worker-private samplers (epoch arrays), created lazily, reused across
   // SampleAppend calls.
   std::vector<std::unique_ptr<RrSampler>> workers_;

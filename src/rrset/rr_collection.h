@@ -16,6 +16,18 @@
 // sample serves them all while each advertiser keeps its own θ_j, covered
 // flags and coverage counts. See TiOptions::share_samples.
 //
+// Inverted-index layout (Table 3 memory): a compacted CSR base — one flat
+// ascending set-id array plus per-node offsets — covering everything indexed
+// at the last compaction, plus per-node chains of fixed-size posting blocks
+// for sets appended since. Appends go to the chains in O(1); once the
+// chained postings reach the CSR's size, the whole index is rebuilt as one
+// CSR (a transpose of the flat set storage — optionally sharded across a
+// ThreadPool and merged in node order), so compaction work is O(total
+// postings) amortized and the bulk of every node's postings stays
+// cache-linear for RemoveCoveredBy scans. Per-posting overhead is ~4 bytes
+// in the base (exact-fit) versus the old vector<vector> layout's geometric
+// capacity slack.
+//
 // Maintenance operations (per view):
 //   - adopt newly sampled sets (latent seed-size growth, Alg. 2 line 19);
 //   - coverage counts cov(v) over *alive* adopted sets — covered sets are
@@ -37,6 +49,10 @@
 #include "graph/graph.h"
 #include "rrset/rr_sampler.h"
 
+namespace isa {
+class ThreadPool;
+}
+
 namespace isa::rrset {
 
 class ParallelSampler;
@@ -50,9 +66,12 @@ class RrStore {
   void Sample(RrSampler& sampler, uint64_t count, Rng& rng);
 
   /// Appends pre-sampled sets: `sizes[k]` members of set k taken in order
-  /// from the concatenated `nodes`. Used by ParallelSampler's shard merge.
+  /// from the concatenated `nodes`. Used by ParallelSampler's batch merge.
+  /// When `pool` is given, a compaction triggered by the batch builds the
+  /// index sharded across the pool (bit-identical to the serial build).
   void AppendBatch(std::span<const graph::NodeId> nodes,
-                   std::span<const uint32_t> sizes);
+                   std::span<const uint32_t> sizes,
+                   ThreadPool* pool = nullptr);
 
   uint64_t num_sets() const { return rr_offsets_.size() - 1; }
   graph::NodeId num_nodes() const { return num_nodes_; }
@@ -63,23 +82,86 @@ class RrStore {
             rr_nodes_.data() + rr_offsets_[r + 1]};
   }
 
-  /// Ids of the sets containing `v`, in ascending order (sets are appended
-  /// in id order, so views can stop scanning at their adopted prefix).
-  std::span<const uint32_t> SetsContaining(graph::NodeId v) const {
-    return node_to_sets_[v];
+  /// Total members over sets [lo, hi) — the work measure parallel
+  /// consumers gate their worker counts on.
+  uint64_t PostingsInRange(uint64_t lo, uint64_t hi) const {
+    return rr_offsets_[hi] - rr_offsets_[lo];
   }
+
+  /// Splits sets [lo, hi) into `workers` contiguous ranges of roughly
+  /// equal postings (RR-set sizes are power-law skewed, so equal set
+  /// counts would not balance work). Returns workers + 1 ascending bounds.
+  std::vector<uint64_t> PostingBalancedRanges(uint64_t lo, uint64_t hi,
+                                              uint32_t workers) const;
+
+  /// Calls fn(set_id) for every set containing `v`, in ascending id order
+  /// (CSR base first, then the append chains — both append in id order, so
+  /// views can stop scanning at their adopted prefix). fn returns false to
+  /// stop early; ForEachSetContaining returns false iff stopped.
+  template <typename Fn>
+  bool ForEachSetContaining(graph::NodeId v, Fn&& fn) const {
+    for (uint64_t k = csr_offsets_[v]; k < csr_offsets_[v + 1]; ++k) {
+      if (!fn(csr_sets_[k])) return false;
+    }
+    if (!chain_head_.empty()) {
+      for (uint32_t b = chain_head_[v]; b != kNoBlock; b = blocks_[b].next) {
+        const PostingBlock& blk = blocks_[b];
+        for (uint32_t k = 0; k < blk.count; ++k) {
+          if (!fn(blk.ids[k])) return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Ids of the sets containing `v`, ascending, materialized (tests and
+  /// diagnostics; hot paths use ForEachSetContaining).
+  std::vector<uint32_t> SetsContaining(graph::NodeId v) const;
 
   /// Mean cardinality over all stored sets.
   double MeanSetSize() const;
 
-  /// Heap footprint of the flat arrays + inverted index.
+  /// Heap footprint: flat arrays, inverted index, and scratch buffers.
   uint64_t MemoryBytes() const;
+  /// Inverted-index share of MemoryBytes (CSR + chains).
+  uint64_t IndexBytes() const;
+  /// What the pre-CSR vector<vector<uint32_t>> index would report for the
+  /// same postings (per-node capacity from push_back doubling). Diagnostic
+  /// for the Table 3 memory comparison.
+  uint64_t LegacyIndexBytes() const;
 
  private:
+  static constexpr uint32_t kNoBlock = UINT32_MAX;
+  static constexpr uint32_t kPostingBlockCap = 14;
+  // 64 bytes — one cache line per chain hop.
+  struct PostingBlock {
+    uint32_t next = kNoBlock;
+    uint32_t count = 0;
+    uint32_t ids[kPostingBlockCap];
+  };
+
+  // Appends posting (v -> id) to v's chain.
+  void ChainAppend(graph::NodeId v, uint32_t id);
+  // Indexes the sets appended since the last IndexTail call: chains them,
+  // or — once the postings outside the CSR base reach the base's size —
+  // rebuilds the base as the transpose of the whole flat storage (sharded
+  // across `pool` when given and worthwhile) and drops the chains.
+  void IndexTail(ThreadPool* pool);
+  void RebuildIndex(ThreadPool* pool);
+
   graph::NodeId num_nodes_;
   std::vector<uint64_t> rr_offsets_;      // num_sets() + 1
   std::vector<graph::NodeId> rr_nodes_;   // concatenated members
-  std::vector<std::vector<uint32_t>> node_to_sets_;
+
+  // Inverted index: CSR base + per-node overflow chains (see file comment).
+  std::vector<uint64_t> csr_offsets_;     // num_nodes + 1
+  std::vector<uint32_t> csr_sets_;
+  std::vector<PostingBlock> blocks_;
+  std::vector<uint32_t> chain_head_;      // per node, kNoBlock-terminated;
+  std::vector<uint32_t> chain_tail_;      //   allocated on first chain use
+  uint64_t chained_postings_ = 0;
+  uint64_t indexed_sets_ = 0;             // prefix covered by CSR + chains
+
   std::vector<graph::NodeId> scratch_;
 };
 
@@ -102,7 +184,9 @@ class RrCollection {
 
   /// As above, but sampling through the deterministic parallel engine: the
   /// adopted sets are bit-identical for a fixed sampler seed at any worker
-  /// count (see parallel_sampler.h).
+  /// count (see parallel_sampler.h). Coverage accumulation over the newly
+  /// adopted sets runs on the sampler's pool (per-worker count arrays
+  /// merged in node order — integer sums, so again bit-identical).
   void AddSets(ParallelSampler& sampler, uint64_t count,
                std::span<const graph::NodeId> current_seeds);
 
@@ -157,7 +241,8 @@ class RrCollection {
 
  private:
   void AdoptUpTo(uint64_t new_theta,
-                 std::span<const graph::NodeId> current_seeds);
+                 std::span<const graph::NodeId> current_seeds,
+                 ThreadPool* pool);
 
   std::shared_ptr<RrStore> store_;
   uint64_t theta_ = 0;                 // adopted prefix length

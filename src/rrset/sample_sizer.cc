@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 
 namespace isa::rrset {
 
@@ -18,9 +20,12 @@ void SampleSizer::RunPilot(const graph::Graph& g,
   // TIM Algorithm 2 doubling loop for k = 1: round i draws
   // c_i = (6 ℓ ln n + 6 ln log2 n) · 2^i sets; if the mean of
   // κ(R) = w(R)/m crosses 1/2^i, the sample is retained for KptFor().
-  RrSampler sampler(g, probs, options_.model);
-  Rng rng(HashSeed(options_.seed, 0x4b7));
-  std::vector<graph::NodeId> scratch;
+  //
+  // Pilot set `id` (counting across rounds) draws from the substream
+  // HashSeed(stream, id); rounds are partitioned into contiguous id chunks
+  // across the pool, each task with a private sampler, and the widths land
+  // in id-indexed slots — so serial and parallel pilots are bit-identical.
+  const uint64_t stream = HashSeed(options_.seed, 0x4b7);
   const double log_n = std::log(static_cast<double>(n_));
   const double log_log_n =
       std::log(std::max(2.0, std::log2(static_cast<double>(n_))));
@@ -29,18 +34,57 @@ void SampleSizer::RunPilot(const graph::Graph& g,
       n_ > 2 ? static_cast<uint32_t>(std::log2(static_cast<double>(n_)))
              : 1);
 
+  // Task-indexed samplers (O(n) epoch arrays), created lazily and reused
+  // across the doubling rounds; slot 0 doubles as the serial sampler.
+  std::vector<std::unique_ptr<RrSampler>> samplers(
+      options_.pool == nullptr ? 1 : options_.pool->concurrency());
+  auto sampler_for = [&](uint64_t t) -> RrSampler& {
+    if (samplers[t] == nullptr) {
+      samplers[t] = std::make_unique<RrSampler>(g, probs, options_.model);
+    }
+    return *samplers[t];
+  };
+  std::vector<graph::NodeId> scratch;
+
+  uint64_t next_id = 0;
   for (uint32_t i = 1; i <= rounds; ++i) {
     const uint64_t ci = static_cast<uint64_t>(
         std::ceil((6.0 * options_.ell * log_n + 6.0 * log_log_n) *
                   std::pow(2.0, i)));
-    pilot_widths_.clear();
-    pilot_widths_.reserve(ci);
+    const uint64_t first_id = next_id;
+    next_id += ci;
+
+    pilot_widths_.assign(ci, 0);
+    const uint32_t tasks =
+        options_.pool == nullptr
+            ? 1
+            : options_.pool->WorkersFor(
+                  ci, std::max<uint64_t>(1, options_.min_pilot_sets_per_task));
+    if (tasks <= 1) {
+      RrSampler& sampler = sampler_for(0);
+      for (uint64_t k = 0; k < ci; ++k) {
+        Rng rng(HashSeed(stream, first_id + k));
+        sampler.SampleInto(rng, &scratch);
+        pilot_widths_[k] = sampler.last_width();
+      }
+    } else {
+      options_.pool->Run(tasks, [&](uint64_t t) {
+        RrSampler& sampler = sampler_for(t);
+        std::vector<graph::NodeId> local_scratch;
+        const uint64_t lo = ci * t / tasks;
+        const uint64_t hi = ci * (t + 1) / tasks;
+        for (uint64_t k = lo; k < hi; ++k) {
+          Rng rng(HashSeed(stream, first_id + k));
+          sampler.SampleInto(rng, &local_scratch);
+          pilot_widths_[k] = sampler.last_width();
+        }
+      });
+    }
+
+    // κ summed in id order — thread count never changes the value.
     double kappa_sum = 0.0;
-    for (uint64_t j = 0; j < ci; ++j) {
-      sampler.SampleInto(rng, &scratch);
-      pilot_widths_.push_back(sampler.last_width());
-      kappa_sum += static_cast<double>(sampler.last_width()) /
-                   static_cast<double>(m_);
+    for (uint64_t w : pilot_widths_) {
+      kappa_sum += static_cast<double>(w) / static_cast<double>(m_);
     }
     if (kappa_sum / static_cast<double>(ci) > 1.0 / std::pow(2.0, i)) {
       return;  // converged; keep this round's widths

@@ -15,6 +15,13 @@
 // A larger lower bound only shrinks θ; correctness needs a genuine lower
 // bound, which both sources are (KPT ≤ OPT_1 ≤ OPT_s in expectation, with
 // the doubling-loop concentration argument of TIM).
+//
+// Determinism contract (same as rrset::ParallelSampler): every pilot set
+// has an absolute id — its position in the doubling loop's concatenated
+// draw sequence — and is sampled from the Rng substream
+// HashSeed(pilot_stream, id). The serial path walks the same ids, so the
+// pilot widths, and hence θ, are bit-identical with or without a pool, at
+// any worker count.
 
 #ifndef ISA_RRSET_SAMPLE_SIZER_H_
 #define ISA_RRSET_SAMPLE_SIZER_H_
@@ -26,6 +33,10 @@
 #include "common/status.h"
 #include "graph/graph.h"
 #include "rrset/rr_sampler.h"
+
+namespace isa {
+class ThreadPool;
+}
 
 namespace isa::rrset {
 
@@ -45,12 +56,19 @@ struct SampleSizerOptions {
   /// Propagation model the pilot samples under (must match the main
   /// sample's model).
   DiffusionModel model = DiffusionModel::kIndependentCascade;
+  /// Borrowed pool the pilot rounds run on (not owned; must outlive the
+  /// constructor call). Null = serial pilot; widths are bit-identical
+  /// either way (see determinism contract above).
+  ThreadPool* pool = nullptr;
+  /// Below this many pilot sets per would-be task, fewer tasks are used
+  /// (down to the serial loop).
+  uint64_t min_pilot_sets_per_task = 256;
 };
 
 /// Computes θ(s) = ceil(L(s, ε) / OPT_lb(s)) for one (graph, ad) pair.
 class SampleSizer {
  public:
-  /// Runs the KPT pilot (unless disabled) using a private sampler over
+  /// Runs the KPT pilot (unless disabled) using private samplers over
   /// `probs`. The pilot widths are retained so ThetaFor(s) can re-evaluate
   /// the KPT bound for any s without resampling.
   SampleSizer(const graph::Graph& g, std::span<const double> probs,

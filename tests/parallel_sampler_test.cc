@@ -6,10 +6,12 @@
 
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/ti_greedy.h"
 #include "graph/generators.h"
 #include "gtest/gtest.h"
 #include "rrset/rr_collection.h"
+#include "rrset/sample_sizer.h"
 #include "tests/test_util.h"
 #include "topic/tic_model.h"
 
@@ -131,6 +133,54 @@ TEST(ParallelSamplerTest, CollectionAddSetsAdoptsParallelSamples) {
   }
 }
 
+TEST(ParallelSamplerTest, BorrowedPoolMatchesOwnedPool) {
+  const Graph g = MakeBaGraph();
+  const std::vector<double> probs(g.num_edges(), 0.1);
+  constexpr uint64_t kSets = 3000;
+
+  RrStore own_pool(g.num_nodes());
+  MakeSampler(g, probs, /*threads=*/4).SampleAppend(own_pool, kSets);
+
+  ThreadPool shared(4);
+  ParallelSamplerOptions opts;
+  opts.num_threads = 4;
+  opts.min_sets_per_thread = 1;
+  opts.pool = &shared;
+  ParallelSampler borrowed(g, probs,
+                           rrset::DiffusionModel::kIndependentCascade, 123,
+                           opts);
+  RrStore shared_pool_store(g.num_nodes());
+  borrowed.SampleAppend(shared_pool_store, kSets);
+  EXPECT_EQ(borrowed.pool(), &shared);
+  ExpectStoresIdentical(own_pool, shared_pool_store);
+}
+
+TEST(ParallelSamplerTest, PilotWidthsIdenticalSerialAndParallel) {
+  const Graph g = MakeBaGraph(400);
+  const std::vector<double> probs(g.num_edges(), 0.08);
+
+  rrset::SampleSizerOptions base;
+  base.seed = 99;
+  base.epsilon = 0.2;
+  rrset::SampleSizer serial(g, probs, base);
+  ASSERT_GT(serial.pilot_sets(), 0u);
+
+  for (uint32_t threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    rrset::SampleSizerOptions opt = base;
+    opt.pool = &pool;
+    opt.min_pilot_sets_per_task = 1;
+    rrset::SampleSizer parallel(g, probs, opt);
+    SCOPED_TRACE(testing::Message() << threads << " threads");
+    EXPECT_EQ(serial.pilot_sets(), parallel.pilot_sets());
+    for (uint64_t s : {1ull, 2ull, 5ull, 20ull}) {
+      EXPECT_EQ(serial.ThetaFor(s), parallel.ThetaFor(s)) << "s=" << s;
+      EXPECT_DOUBLE_EQ(serial.OptLowerBound(s), parallel.OptLowerBound(s))
+          << "s=" << s;
+    }
+  }
+}
+
 TEST(ParallelSamplerTest, TiCsrmAllocationInvariantAcrossThreadCounts) {
   const Graph g = MakeBaGraph(200);
   auto topics = topic::MakeUniform(g, 1, 0.08);
@@ -168,6 +218,122 @@ TEST(ParallelSamplerTest, TiCsrmAllocationInvariantAcrossThreadCounts) {
       EXPECT_EQ(reference, seed_sets) << threads << " threads";
     }
   }
+}
+
+// Full-driver determinism: for every candidate rule (and both window
+// shapes of Algorithm 5), a fixed seed must yield a bit-identical TiResult
+// — allocations, revenue, payments, θ — at 1, 2 and 8 threads, parallel
+// advertiser init and pilot included.
+TEST(ParallelSamplerTest, TiResultBitIdenticalAcrossThreadCountsAllRules) {
+  const Graph g = MakeBaGraph(200);
+  auto topics = topic::MakeUniform(g, 1, 0.08);
+  ISA_CHECK(topics.ok());
+
+  std::vector<core::AdvertiserSpec> ads(3);
+  ads[0].cpe = 1.0;
+  ads[0].budget = 40.0;
+  ads[1].cpe = 0.7;
+  ads[1].budget = 25.0;
+  ads[2].cpe = 1.3;
+  ads[2].budget = 30.0;
+  for (auto& ad : ads) ad.gamma = topic::TopicDistribution::Uniform(1);
+  std::vector<std::vector<double>> incentives(
+      3, std::vector<double>(g.num_nodes(), 1.0));
+  auto inst = core::RmInstance::Create(g, topics.value(), std::move(ads),
+                                       std::move(incentives));
+  ISA_CHECK(inst.ok());
+
+  struct Config {
+    const char* name;
+    core::CandidateRule rule;
+    core::SelectionRule sel;
+    uint32_t window;
+    bool share_samples;
+  };
+  const Config configs[] = {
+      {"coverage", core::CandidateRule::kCoverage,
+       core::SelectionRule::kMaxMarginalRevenue, 0, false},
+      {"ratio-full", core::CandidateRule::kCoverageCostRatio,
+       core::SelectionRule::kMaxRate, 0, false},
+      {"ratio-window", core::CandidateRule::kCoverageCostRatio,
+       core::SelectionRule::kMaxRate, 8, false},
+      {"pagerank", core::CandidateRule::kPageRank,
+       core::SelectionRule::kMaxMarginalRevenue, 0, false},
+      {"ratio-shared", core::CandidateRule::kCoverageCostRatio,
+       core::SelectionRule::kMaxRate, 0, true},
+  };
+
+  for (const Config& cfg : configs) {
+    SCOPED_TRACE(cfg.name);
+    core::TiOptions options;
+    options.candidate_rule = cfg.rule;
+    options.selection_rule = cfg.sel;
+    options.window = cfg.window;
+    options.share_samples = cfg.share_samples;
+    options.epsilon = 0.3;
+    options.seed = 1234;
+    options.theta_cap = 20'000;
+
+    core::TiResult reference;
+    for (uint32_t threads : {1u, 2u, 8u}) {
+      SCOPED_TRACE(testing::Message() << threads << " threads");
+      options.num_threads = threads;
+      auto result = core::RunTiGreedy(inst.value(), options);
+      ASSERT_TRUE(result.ok()) << result.status().message();
+      const core::TiResult& r = result.value();
+      if (threads == 1u) {
+        reference = r;
+        EXPECT_GT(r.total_seeds, 0u);
+        continue;
+      }
+      EXPECT_EQ(reference.allocation.seed_sets, r.allocation.seed_sets);
+      EXPECT_EQ(reference.total_revenue, r.total_revenue);        // bitwise
+      EXPECT_EQ(reference.total_seeding_cost, r.total_seeding_cost);
+      EXPECT_EQ(reference.total_seeds, r.total_seeds);
+      EXPECT_EQ(reference.total_theta, r.total_theta);
+      ASSERT_EQ(reference.ad_stats.size(), r.ad_stats.size());
+      for (size_t j = 0; j < r.ad_stats.size(); ++j) {
+        SCOPED_TRACE(testing::Message() << "ad " << j);
+        EXPECT_EQ(reference.ad_stats[j].theta, r.ad_stats[j].theta);
+        EXPECT_EQ(reference.ad_stats[j].latent_seed_size,
+                  r.ad_stats[j].latent_seed_size);
+        EXPECT_EQ(reference.ad_stats[j].revenue, r.ad_stats[j].revenue);
+        EXPECT_EQ(reference.ad_stats[j].payment, r.ad_stats[j].payment);
+        EXPECT_EQ(reference.ad_stats[j].seeding_cost,
+                  r.ad_stats[j].seeding_cost);
+      }
+    }
+  }
+}
+
+// Stress for TSan: a large batch through a shared pool drives the sharded
+// sampling, the parallel counting-sort index build, and the sharded
+// coverage adoption all at once; the serial rerun cross-checks the result.
+TEST(ParallelSamplerTest, StressSharedPoolLargeBatchWithParallelIndex) {
+  const Graph g = MakeBaGraph(500);
+  const std::vector<double> probs(g.num_edges(), 0.2);
+  constexpr uint64_t kSets = 30'000;  // enough postings for the sharded paths
+
+  ThreadPool pool(8);
+  ParallelSamplerOptions opts;
+  opts.num_threads = 8;
+  opts.min_sets_per_thread = 1;
+  opts.pool = &pool;
+  ParallelSampler sampler(g, probs,
+                          rrset::DiffusionModel::kIndependentCascade, 555,
+                          opts);
+  rrset::RrCollection parallel(g.num_nodes());
+  parallel.AddSets(sampler, kSets, {});
+
+  rrset::RrCollection serial(g.num_nodes());
+  ParallelSampler s1 = MakeSampler(g, probs, /*threads=*/1, 555);
+  serial.AddSets(s1, kSets, {});
+
+  ExpectStoresIdentical(*serial.store(), *parallel.store());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(serial.CoverageOf(v), parallel.CoverageOf(v)) << "node " << v;
+  }
+  EXPECT_EQ(serial.store()->SetsContaining(0), parallel.store()->SetsContaining(0));
 }
 
 // Stress case for ThreadSanitizer builds: hammer one sampler with many

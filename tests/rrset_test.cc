@@ -214,6 +214,83 @@ TEST(RrCollectionTest, MaxCoverageFractionAndMeanSize) {
   EXPECT_GT(col.MemoryBytes(), 0u);
 }
 
+// ---------- RrStore inverted index (CSR base + chained postings) ----------
+
+// Brute-force reference: sets containing v, by scanning every set.
+std::vector<uint32_t> BruteForceSetsContaining(const RrStore& store,
+                                               graph::NodeId v) {
+  std::vector<uint32_t> out;
+  for (uint64_t r = 0; r < store.num_sets(); ++r) {
+    const auto members = store.SetMembers(r);
+    if (std::find(members.begin(), members.end(), v) != members.end()) {
+      out.push_back(static_cast<uint32_t>(r));
+    }
+  }
+  return out;
+}
+
+void ExpectIndexMatchesBruteForce(const RrStore& store) {
+  for (graph::NodeId v = 0; v < store.num_nodes(); ++v) {
+    const auto expected = BruteForceSetsContaining(store, v);
+    const auto actual = store.SetsContaining(v);
+    ASSERT_EQ(actual, expected) << "node " << v;
+    ASSERT_TRUE(std::is_sorted(actual.begin(), actual.end())) << "node " << v;
+  }
+}
+
+TEST(RrStoreIndexTest, IndexSurvivesChainGrowthAndCompactions) {
+  auto g = test::MustGraph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  std::vector<double> probs(g.num_edges(), 0.7);
+  RrSampler sampler(g, probs);
+  RrStore store(6);
+  Rng rng(31);
+  // A big batch (compacts into the CSR base), then a trickle of tiny
+  // batches (chained postings), then another big batch (compacts again):
+  // the growth pattern RunTiGreedy's θ revisions produce.
+  store.Sample(sampler, 300, rng);
+  ExpectIndexMatchesBruteForce(store);
+  for (int i = 0; i < 40; ++i) {
+    store.Sample(sampler, 1 + (i % 3), rng);
+  }
+  ExpectIndexMatchesBruteForce(store);
+  store.Sample(sampler, 2000, rng);
+  ExpectIndexMatchesBruteForce(store);
+  EXPECT_EQ(store.num_sets(), 300u + 79u + 2000u);
+}
+
+TEST(RrStoreIndexTest, EarlyExitStopsAscendingScan) {
+  auto g = test::MustGraph(3, {{0, 1}, {1, 2}});
+  std::vector<double> probs(g.num_edges(), 1.0);
+  RrSampler sampler(g, probs);
+  RrStore store(3);
+  Rng rng(32);
+  store.Sample(sampler, 100, rng);
+  // Node 0 is in every set (p = 1). Stop after 10 visited ids.
+  std::vector<uint32_t> seen;
+  const bool completed = store.ForEachSetContaining(0, [&](uint32_t r) {
+    seen.push_back(r);
+    return seen.size() < 10;
+  });
+  EXPECT_FALSE(completed);
+  ASSERT_EQ(seen.size(), 10u);
+  for (uint32_t k = 0; k < 10; ++k) EXPECT_EQ(seen[k], k);
+}
+
+TEST(RrStoreIndexTest, MemoryAccountingCoversIndexAndBeatsLegacyLayout) {
+  auto g = test::MustGraph(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  std::vector<double> probs(g.num_edges(), 0.6);
+  RrSampler sampler(g, probs);
+  RrStore store(4);
+  Rng rng(33);
+  // 500 postings per popular node: bit_ceil rounds the legacy per-node
+  // capacity to 512, so exact-fit CSR postings must come out smaller.
+  store.Sample(sampler, 500, rng);
+  EXPECT_GT(store.MemoryBytes(), 0u);
+  EXPECT_GT(store.IndexBytes(), 0u);
+  EXPECT_LT(store.IndexBytes(), store.MemoryBytes());
+  EXPECT_LE(store.IndexBytes(), store.LegacyIndexBytes());
+}
+
 // ---------- SampleSizer ----------
 
 TEST(SampleSizerTest, ThetaShrinksWithLargerEpsilon) {
