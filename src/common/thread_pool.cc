@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace isa {
 
@@ -41,9 +42,51 @@ uint32_t ThreadPool::WorkersFor(uint64_t items,
   return static_cast<uint32_t>(std::clamp<uint64_t>(by_work, 1, concurrency_));
 }
 
+void ThreadPool::FinishTask(const std::shared_ptr<Batch>& batch,
+                            std::exception_ptr err) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (err != nullptr) {
+    if (batch->error == nullptr) batch->error = err;
+    // Cancel the batch's unclaimed tasks: count them done so the joiner's
+    // barrier still closes. Tasks already claimed by other threads finish
+    // normally (their slots are independent).
+    batch->done += batch->count - batch->next;
+    batch->next = batch->count;
+  }
+  if (++batch->done >= batch->count) done_cv_.notify_all();
+}
+
+void ThreadPool::Participate(const std::shared_ptr<Batch>& batch) {
+  for (;;) {
+    uint64_t i;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (batch->next >= batch->count) break;
+      i = batch->next++;
+    }
+    std::exception_ptr err;
+    try {
+      (*batch->fn)(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    FinishTask(batch, err);
+  }
+}
+
+void ThreadPool::Join(const std::shared_ptr<Batch>& batch, bool rethrow) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return batch->done >= batch->count; });
+  }
+  if (rethrow && batch->error != nullptr) std::rethrow_exception(batch->error);
+}
+
 void ThreadPool::Run(uint64_t n, const std::function<void(uint64_t)>& fn) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
+    // Inline path: exceptions propagate to the caller directly — the same
+    // contract as the marshaled multi-worker path below.
     for (uint64_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -57,30 +100,75 @@ void ThreadPool::Run(uint64_t n, const std::function<void(uint64_t)>& fn) {
   }
   work_cv_.notify_all();
 
-  // Participate: claim this batch's tasks until none are left unclaimed.
-  for (;;) {
-    uint64_t i;
+  Participate(batch);
+  // Tasks claimed by workers may still be in flight; the batch's first
+  // exception (if any) surfaces here, after the barrier.
+  Join(batch, /*rethrow=*/true);
+}
+
+ThreadPool::TaskGroup ThreadPool::Launch(uint64_t n,
+                                         std::function<void(uint64_t)> fn) {
+  if (n == 0) return TaskGroup();
+  auto batch = std::make_shared<Batch>();
+  batch->owned_fn = std::move(fn);
+  batch->fn = &batch->owned_fn;
+  batch->count = n;
+  // With no background workers the batch would sit in the queue forever;
+  // leave it unqueued and let Wait() run every task inline (deferred
+  // execution — identical results, no overlap).
+  if (!workers_.empty()) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (batch->next >= batch->count) break;
-      i = batch->next++;
+      batches_.push_back(batch);
     }
-    fn(i);
-    std::lock_guard<std::mutex> lock(mu_);
-    if (++batch->done == batch->count) done_cv_.notify_all();
+    work_cv_.notify_all();
   }
+  return TaskGroup(this, std::move(batch));
+}
 
-  // Tasks claimed by workers may still be in flight.
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return batch->done >= batch->count; });
+ThreadPool::TaskGroup::TaskGroup(TaskGroup&& other) noexcept
+    : pool_(std::exchange(other.pool_, nullptr)),
+      batch_(std::move(other.batch_)) {}
+
+ThreadPool::TaskGroup& ThreadPool::TaskGroup::operator=(
+    TaskGroup&& other) noexcept {
+  if (this != &other) {
+    if (pool_ != nullptr) {
+      // Join the batch being replaced; its exception (if any) is lost, as
+      // in the destructor.
+      pool_->Participate(batch_);
+      pool_->Join(batch_, /*rethrow=*/false);
+    }
+    pool_ = std::exchange(other.pool_, nullptr);
+    batch_ = std::move(other.batch_);
+  }
+  return *this;
+}
+
+ThreadPool::TaskGroup::~TaskGroup() {
+  if (pool_ == nullptr) return;
+  // The batch's closure may reference caller state that dies with this
+  // scope, so the destructor must join. A destructor cannot rethrow; the
+  // batch's exception, if nobody Wait()ed, is discarded.
+  pool_->Participate(batch_);
+  pool_->Join(batch_, /*rethrow=*/false);
+}
+
+void ThreadPool::TaskGroup::Wait() {
+  if (pool_ == nullptr) return;
+  ThreadPool* pool = std::exchange(pool_, nullptr);
+  std::shared_ptr<Batch> batch = std::move(batch_);
+  pool->Participate(batch);
+  pool->Join(batch, /*rethrow=*/true);
 }
 
 void ThreadPool::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     // Exhausted batches stay queued only until a worker passes by; their
-    // Run callers hold them via shared_ptr until completion.
-    while (!batches_.empty() && batches_.front()->next >= batches_.front()->count) {
+    // joiners hold them via shared_ptr until completion.
+    while (!batches_.empty() &&
+           batches_.front()->next >= batches_.front()->count) {
       batches_.pop_front();
     }
     if (stop_) return;
@@ -91,9 +179,14 @@ void ThreadPool::WorkerLoop() {
     std::shared_ptr<Batch> batch = batches_.front();
     const uint64_t i = batch->next++;
     lock.unlock();
-    (*batch->fn)(i);
+    std::exception_ptr err;
+    try {
+      (*batch->fn)(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    FinishTask(batch, err);
     lock.lock();
-    if (++batch->done == batch->count) done_cv_.notify_all();
   }
 }
 

@@ -1,0 +1,355 @@
+#include "core/advertiser_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "graph/pagerank.h"
+
+namespace isa::core {
+
+// ------------------------------------------------------------ CoverageHeap
+
+bool CoverageHeap::Before(const CoverageHeapEntry& a,
+                          const CoverageHeapEntry& b) const {
+  if (ratio_keyed_) {
+    const double lhs = static_cast<double>(a.cov) * costs_[b.node];
+    const double rhs = static_cast<double>(b.cov) * costs_[a.node];
+    if (lhs != rhs) return lhs > rhs;
+  }
+  if (a.cov != b.cov) return a.cov > b.cov;
+  return a.node < b.node;
+}
+
+void CoverageHeap::Rebuild(const rrset::RrCollection& col,
+                           std::span<const uint8_t> eligible) {
+  heap_.clear();
+  const graph::NodeId n = static_cast<graph::NodeId>(eligible.size());
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const uint32_t cov = col.CoverageOf(v);
+    if (eligible[v] && cov > 0) heap_.push_back(CoverageHeapEntry{cov, v});
+  }
+  std::make_heap(heap_.begin(), heap_.end(), Cmp());
+}
+
+void CoverageHeap::ApplyCoverageIncreases(
+    const rrset::RrCollection& col, std::span<const uint8_t> eligible,
+    std::span<const graph::NodeId> touched) {
+  for (graph::NodeId v : touched) {
+    if (!eligible[v]) continue;
+    const uint32_t cov = col.CoverageOf(v);
+    if (cov > 0) Push(CoverageHeapEntry{cov, v});
+  }
+  // Stale duplicates accumulate one push per touched node per growth;
+  // once they dominate the live candidates, one exact rebuild resets the
+  // heap (deterministic: triggered by size alone).
+  if (heap_.size() > 2 * eligible.size()) Rebuild(col, eligible);
+}
+
+bool CoverageHeap::SettleTop(const rrset::RrCollection& col,
+                             std::span<const uint8_t> eligible) {
+  auto cmp = Cmp();
+  while (!heap_.empty()) {
+    const CoverageHeapEntry top = heap_.front();
+    const uint32_t cur = col.CoverageOf(top.node);
+    if (!eligible[top.node] || cur == 0) {
+      std::pop_heap(heap_.begin(), heap_.end(), cmp);
+      heap_.pop_back();
+      continue;
+    }
+    if (cur != top.cov) {
+      std::pop_heap(heap_.begin(), heap_.end(), cmp);
+      heap_.back().cov = cur;
+      std::push_heap(heap_.begin(), heap_.end(), cmp);
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+void CoverageHeap::PopTop() {
+  std::pop_heap(heap_.begin(), heap_.end(), Cmp());
+  heap_.pop_back();
+}
+
+void CoverageHeap::Push(CoverageHeapEntry e) {
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), Cmp());
+}
+
+// -------------------------------------------------------- AdvertiserEngine
+
+AdvertiserEngine::AdvertiserEngine(uint32_t ad, const RmInstance& instance,
+                                   std::shared_ptr<rrset::RrStore> shared_store,
+                                   const AdvertiserEngineOptions& options)
+    : instance_(instance),
+      ad_(ad),
+      dn_(static_cast<double>(instance.graph().num_nodes())),
+      options_(options),
+      collection_(shared_store != nullptr
+                      ? rrset::RrCollection(std::move(shared_store))
+                      : rrset::RrCollection(instance.graph().num_nodes())),
+      sampler_(instance.graph(), instance.ad_probs(ad), options.model,
+               options.sampler_seed, options.sampler),
+      sizer_(instance.graph(), instance.ad_probs(ad), options.sizer),
+      eligible_(instance.graph().num_nodes(), 1) {
+  for (graph::NodeId v : options_.excluded_nodes) {
+    if (v < eligible_.size()) eligible_[v] = 0;
+  }
+  heap_.Configure(options_.ratio_keyed_heap, instance.incentives(ad));
+  if (windowed()) {
+    in_window_.assign(eligible_.size(), 0);
+    window_dirty_.assign(eligible_.size(), 0);
+  }
+}
+
+AdvertiserEngine::~AdvertiserEngine() = default;
+
+Status AdvertiserEngine::Init() {
+  theta_ = sizer_.ThetaFor(1);
+  collection_.AddSets(sampler_, theta_, {});
+  if (options_.candidate_rule == CandidateRule::kPageRank) {
+    auto pr = graph::WeightedPageRank(instance_.graph(),
+                                      instance_.ad_probs(ad_));
+    if (!pr.ok()) return pr.status();
+    pr_order_ = graph::RankByScore(pr.value());
+  } else {
+    heap_.Rebuild(collection_, eligible_);
+  }
+  return Status::OK();
+}
+
+void AdvertiserEngine::MarkWindowDirty(graph::NodeId v) {
+  if (in_window_[v] && !window_dirty_[v]) {
+    window_dirty_[v] = 1;
+    ++window_dirty_count_;
+  }
+}
+
+void AdvertiserEngine::RetireNode(graph::NodeId v) {
+  eligible_[v] = 0;
+  if (windowed()) MarkWindowDirty(v);
+}
+
+void AdvertiserEngine::MaintainWindow() {
+  // Drop entries whose node left the ground set or changed coverage (both
+  // mark the node dirty when they happen); a still-live dropped node
+  // re-enters the race through the heap with its refreshed exact count.
+  // Non-dirty entries are exact and eligible, so they carry over.
+  if (window_dirty_count_ > 0) {
+    size_t out = 0;
+    for (const CoverageHeapEntry& e : window_buf_) {
+      if (!window_dirty_[e.node]) {
+        window_buf_[out++] = e;
+        continue;
+      }
+      window_dirty_[e.node] = 0;
+      in_window_[e.node] = 0;
+      const uint32_t cov = collection_.CoverageOf(e.node);
+      if (eligible_[e.node] && cov > 0) {
+        heap_.Push(CoverageHeapEntry{cov, e.node});
+      }
+    }
+    window_buf_.resize(out);
+    window_dirty_count_ = 0;
+  }
+  // Refill to w entries from the settled heap. Kept entries rank at least
+  // as high as every heap entry (they were top-w when added and nothing
+  // outside the window has gained coverage since — growths dump the whole
+  // window first), so kept ∪ refill is exactly the current top-w.
+  while (window_buf_.size() < options_.window &&
+         heap_.SettleTop(collection_, eligible_)) {
+    const CoverageHeapEntry e = heap_.Top();
+    heap_.PopTop();
+    if (in_window_[e.node]) continue;  // stale duplicate of a window entry
+    in_window_[e.node] = 1;
+    window_buf_.push_back(e);
+  }
+}
+
+void AdvertiserEngine::DumpWindowToHeap() {
+  for (const CoverageHeapEntry& e : window_buf_) {
+    in_window_[e.node] = 0;
+    window_dirty_[e.node] = 0;
+    // The snapshot may be stale either way after a growth; the repair's
+    // fresh delta entries restore the upper-bound invariant, and stale
+    // duplicates are purged on settle.
+    heap_.Push(e);
+  }
+  window_buf_.clear();
+  window_dirty_count_ = 0;
+}
+
+void AdvertiserEngine::ComputeCandidate() {
+  candidate_ = kNoNode;
+  candidate_fresh_ = true;
+  graph::NodeId chosen = kNoNode;
+  switch (options_.candidate_rule) {
+    case CandidateRule::kCoverage: {
+      if (heap_.SettleTop(collection_, eligible_)) chosen = heap_.Top().node;
+      break;
+    }
+    case CandidateRule::kCoverageCostRatio: {
+      if (options_.ratio_keyed_heap) {
+        // Full window: the heap is keyed by coverage/cost directly, so the
+        // settled top IS the Algorithm 5 candidate (footnote 10 justifies
+        // the ratio form).
+        if (heap_.SettleTop(collection_, eligible_)) {
+          chosen = heap_.Top().node;
+        }
+        break;
+      }
+      // Windowed variant (Fig. 4): maintain the persistent top-`window`
+      // buffer, then pick the best coverage-to-cost ratio among it. Ties
+      // break by larger coverage, then smaller node id, so the winner does
+      // not depend on the buffer's internal order.
+      MaintainWindow();
+      double best_cov = 0.0, best_cost = 1.0;
+      for (const CoverageHeapEntry& e : window_buf_) {
+        const double cov = static_cast<double>(e.cov);
+        const double cost = instance_.incentive(ad_, e.node);
+        const bool tie = cov * best_cost == best_cov * cost;
+        if (chosen == kNoNode ||
+            RatioGreater(cov, cost, best_cov, best_cost) ||
+            (tie && cov > best_cov) ||
+            (tie && cov == best_cov && e.node < chosen)) {
+          chosen = e.node;
+          best_cov = cov;
+          best_cost = cost;
+        }
+      }
+      break;
+    }
+    case CandidateRule::kPageRank: {
+      while (pr_cursor_ < pr_order_.size() &&
+             !eligible_[pr_order_[pr_cursor_]]) {
+        ++pr_cursor_;
+      }
+      if (pr_cursor_ < pr_order_.size()) chosen = pr_order_[pr_cursor_];
+      break;
+    }
+  }
+  if (chosen == kNoNode) return;
+  candidate_ = chosen;
+  const double frac = static_cast<double>(collection_.CoverageOf(chosen)) /
+                      static_cast<double>(collection_.total_sets());
+  cand_marg_rev_ = instance_.cpe(ad_) * dn_ * frac;  // line 8
+  cand_marg_pay_ = cand_marg_rev_ + instance_.incentive(ad_, chosen);
+}
+
+void AdvertiserEngine::EnsureFeasibleCandidate(double budget) {
+  while (true) {
+    if (!candidate_fresh_) ComputeCandidate();
+    if (candidate_ == kNoNode) return;
+    if (payment_ + cand_marg_pay_ <= budget + kBudgetSlack) return;
+    RetireNode(candidate_);  // Algorithm 1 line 12: leaves E permanently
+    candidate_fresh_ = false;
+  }
+}
+
+void AdvertiserEngine::MarkNodeTaken(graph::NodeId v) {
+  RetireNode(v);
+  if (candidate_ == v) candidate_fresh_ = false;
+}
+
+void AdvertiserEngine::CommitSeed(graph::NodeId v) {
+  seeds_.push_back(v);
+  seeding_cost_ += instance_.incentive(ad_, v);
+  if (windowed()) {
+    collection_.RemoveCoveredBy(v, &touched_scratch_);
+    for (graph::NodeId u : touched_scratch_) MarkWindowDirty(u);
+  } else {
+    collection_.RemoveCoveredBy(v);
+  }
+  revenue_ = instance_.cpe(ad_) * dn_ * collection_.covered_fraction();
+  payment_ = revenue_ + seeding_cost_;
+  candidate_fresh_ = false;
+}
+
+uint64_t AdvertiserEngine::MaybeReviseLatentSize(double budget) {
+  // While an async growth is in flight the revision waits for its barrier
+  // (AdoptPendingGrowth's caller re-runs this), keeping the trigger rounds
+  // deterministic.
+  if (pending_.active || seeds_.size() < latent_s_) return 0;
+  const double f_max = collection_.MaxCoverageFraction();
+  const double denom = instance_.max_incentive(ad_) +
+                       instance_.cpe(ad_) * dn_ * f_max;
+  uint64_t inc = 0;
+  if (denom > 0.0) {
+    const double room = budget - payment_;
+    if (room > 0.0) inc = static_cast<uint64_t>(room / denom);
+  }
+  // Eq. 10 uses a worst-case per-seed payment, so inc == 0 can coexist
+  // with affordable cheap seeds; keep s̃ ahead of |S| by at least one.
+  if (inc == 0) inc = 1;
+  latent_s_ += inc;
+  const uint64_t want = sizer_.ThetaFor(latent_s_);
+  return want > theta_ ? want : 0;
+}
+
+void AdvertiserEngine::FinishGrowth() {
+  ++growth_events_;
+  if (options_.candidate_rule != CandidateRule::kPageRank) {
+    // Coverage went up for the touched nodes; repair instead of the old
+    // full-scan rebuild. The window must re-settle entirely: nodes outside
+    // it may now out-rank kept entries.
+    DumpWindowToHeap();
+    heap_.ApplyCoverageIncreases(collection_, eligible_, touched_scratch_);
+  }
+  // Algorithm 3: refresh estimates against the enlarged sample.
+  revenue_ = instance_.cpe(ad_) * dn_ * collection_.covered_fraction();
+  payment_ = revenue_ + seeding_cost_;
+  candidate_fresh_ = false;
+}
+
+void AdvertiserEngine::GrowNow(uint64_t want_theta) {
+  const bool need_deltas =
+      options_.candidate_rule != CandidateRule::kPageRank;
+  collection_.AddSets(sampler_, want_theta - theta_, seeds_,
+                      need_deltas ? &touched_scratch_ : nullptr);
+  theta_ = want_theta;
+  FinishGrowth();
+}
+
+void AdvertiserEngine::BeginAsyncGrowth(uint64_t want_theta,
+                                        uint64_t adopt_round,
+                                        ThreadPool& pool) {
+  pending_.active = true;
+  pending_.want_theta = want_theta;
+  pending_.adopt_round = adopt_round;
+  // Private store (async_capable): nothing else appends to it, so the id
+  // range decided here is stable until the barrier.
+  const uint64_t first_id = collection_.store()->num_sets();
+  const uint64_t count = want_theta - first_id;
+  pending_.task = pool.Launch(1, [this, first_id, count](uint64_t) {
+    sampler_.SampleToBuffer(first_id, count, &pending_.nodes,
+                            &pending_.sizes);
+  });
+}
+
+void AdvertiserEngine::AdoptPendingGrowth(ThreadPool& pool) {
+  pending_.task.Wait();  // rethrows a marshaled sampling exception
+  collection_.store()->AppendBatch(pending_.nodes, pending_.sizes, &pool);
+  const bool need_deltas =
+      options_.candidate_rule != CandidateRule::kPageRank;
+  collection_.AdoptUpTo(pending_.want_theta, seeds_, &pool,
+                        need_deltas ? &touched_scratch_ : nullptr);
+  theta_ = pending_.want_theta;
+  pending_.active = false;
+  pending_.nodes = {};
+  pending_.sizes = {};
+  FinishGrowth();
+}
+
+uint64_t AdvertiserEngine::WorkingBufferBytes() const {
+  return heap_.BufferBytes() + eligible_.capacity() +
+         seeds_.capacity() * sizeof(graph::NodeId) +
+         pr_order_.capacity() * sizeof(graph::NodeId) +
+         window_buf_.capacity() * sizeof(CoverageHeapEntry) +
+         in_window_.capacity() + window_dirty_.capacity() +
+         touched_scratch_.capacity() * sizeof(graph::NodeId) +
+         pending_.nodes.capacity() * sizeof(graph::NodeId) +
+         pending_.sizes.capacity() * sizeof(uint32_t);
+}
+
+}  // namespace isa::core

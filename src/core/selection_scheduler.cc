@@ -1,0 +1,127 @@
+#include "core/selection_scheduler.h"
+
+#include <algorithm>
+
+namespace isa::core {
+
+SelectionScheduler::SelectionScheduler(
+    const RmInstance& instance, const TiOptions& options, ThreadPool& pool,
+    std::span<const std::unique_ptr<AdvertiserEngine>> ads)
+    : instance_(instance), options_(options), pool_(pool), ads_(ads) {}
+
+double SelectionScheduler::BudgetOf(uint32_t j) const {
+  return options_.budget_override.empty() ? instance_.budget(j)
+                                          : options_.budget_override[j];
+}
+
+bool SelectionScheduler::AnyGrowthPending() const {
+  for (const auto& ad : ads_) {
+    if (ad->growth_pending()) return true;
+  }
+  return false;
+}
+
+uint32_t SelectionScheduler::SelectAd() const {
+  const uint32_t h = num_ads();
+  uint32_t chosen = h;
+  if (options_.selection_rule == SelectionRule::kRoundRobin) {
+    for (uint32_t step = 0; step < h; ++step) {
+      const uint32_t j = (round_robin_next_ + step) % h;
+      if (ads_[j]->CandidateFeasible(BudgetOf(j))) return j;
+    }
+    return h;
+  }
+  double best_key_num = -1.0, best_key_den = 1.0;
+  for (uint32_t j = 0; j < h; ++j) {
+    const AdvertiserEngine& ad = *ads_[j];
+    if (!ad.CandidateFeasible(BudgetOf(j))) {
+      continue;  // infeasible this round; revisited if state changes
+    }
+    double num, den;
+    if (options_.selection_rule == SelectionRule::kMaxRate) {
+      num = ad.cand_marg_rev();
+      den = ad.cand_marg_pay();
+    } else {
+      num = ad.cand_marg_rev();
+      den = 1.0;
+    }
+    if (chosen == h || RatioGreater(num, den, best_key_num, best_key_den)) {
+      chosen = j;
+      best_key_num = num;
+      best_key_den = den;
+    }
+  }
+  return chosen;
+}
+
+void SelectionScheduler::ScheduleGrowth(uint32_t j, uint64_t round) {
+  const uint64_t want = ads_[j]->MaybeReviseLatentSize(BudgetOf(j));
+  if (want == 0) return;
+  if (options_.async_growth && ads_[j]->async_capable()) {
+    const uint64_t delay = std::max<uint32_t>(1, options_.growth_delay_rounds);
+    ads_[j]->BeginAsyncGrowth(want, round + delay, pool_);
+  } else {
+    ads_[j]->GrowNow(want);
+  }
+}
+
+void SelectionScheduler::AdoptDueGrowths(uint64_t round, bool adopt_all) {
+  for (uint32_t j = 0; j < num_ads(); ++j) {
+    AdvertiserEngine& ad = *ads_[j];
+    if (!ad.growth_pending()) continue;
+    if (!adopt_all && ad.pending_adopt_round() > round) continue;
+    ad.AdoptPendingGrowth(pool_);
+    // The gap may have pushed |S_j| past s̃_j; the deferred Eq. 10
+    // revision runs now (barrier round and ad order are fixed, so this
+    // stays deterministic) and may chain the next growth.
+    ScheduleGrowth(j, round);
+  }
+}
+
+void SelectionScheduler::Run(Allocation* allocation) {
+  const uint32_t h = num_ads();
+  uint64_t round = 0;
+  while (true) {
+    if (options_.max_seeds != 0 && total_seeds_ >= options_.max_seeds) break;
+
+    AdoptDueGrowths(round, /*adopt_all=*/false);
+
+    for (uint32_t j = 0; j < h; ++j) {
+      ads_[j]->EnsureFeasibleCandidate(BudgetOf(j));
+    }
+
+    const uint32_t chosen_ad = SelectAd();
+    if (chosen_ad == h) {
+      // Line 16 — unless a pending sample could still land: adoption
+      // refreshes revenue estimates, which can reopen feasibility, so
+      // fast-forward every barrier and retry once more.
+      if (!AnyGrowthPending()) break;
+      AdoptDueGrowths(round, /*adopt_all=*/true);
+      continue;
+    }
+    if (options_.selection_rule == SelectionRule::kRoundRobin) {
+      round_robin_next_ = (chosen_ad + 1) % h;
+    }
+
+    // Lines 10-15: commit the pair.
+    const graph::NodeId v = ads_[chosen_ad]->candidate();
+    for (uint32_t k = 0; k < h; ++k) ads_[k]->MarkNodeTaken(v);
+    ads_[chosen_ad]->CommitSeed(v);
+    allocation->seed_sets[chosen_ad].push_back(v);
+    ++total_seeds_;
+
+    // Lines 17-21: latent seed-set size revision + sample growth.
+    ScheduleGrowth(chosen_ad, round);
+    ++round;
+  }
+
+  // Drain: land every in-flight growth so the final θ/revenue estimates
+  // match what the synchronous schedule would report as settled state.
+  // Adoption can chain one more revision per ad (never more without new
+  // seeds), so loop until quiescent.
+  while (AnyGrowthPending()) {
+    AdoptDueGrowths(round, /*adopt_all=*/true);
+  }
+}
+
+}  // namespace isa::core

@@ -1,0 +1,86 @@
+// The round loop of Algorithm 2 (lines 5-22), staged over a set of
+// AdvertiserEngines on the shared thread pool.
+//
+// Each round runs four explicit stages:
+//   1. adopt    — async θ-growths whose barrier round arrived land: the
+//                 sampled batch is appended, adopted, and the owner's heap
+//                 repaired from the coverage deltas;
+//   2. candidate— every advertiser settles a budget-feasible candidate
+//                 (line 7 + the Algorithm 1 line-12 retirement);
+//   3. commit   — the selection rule picks one (node, advertiser) pair
+//                 (line 9); the node leaves every ground set and the
+//                 winner's covered RR sets are removed (lines 10-15);
+//   4. growth   — if the winner's seed count reached its latent size s̃_j,
+//                 Eq. 10 revises s̃_j; a required sample growth either runs
+//                 synchronously or, in async mode, starts sampling on pool
+//                 workers while subsequent rounds proceed (lines 17-21).
+//
+// Determinism barrier protocol (async mode): a growth triggered in round r
+// adopts at the start of round r + growth_delay_rounds, and barriers that
+// land in the same round adopt in ascending advertiser order. Trigger
+// rounds depend only on selection state, never on timing, so a fixed seed
+// yields a bit-identical TiResult at any thread count; worker availability
+// only changes whether the sampling actually overlaps (a pool without
+// background workers defers it to the barrier). During the gap the owner
+// keeps selecting against its current sample — a deterministic schedule
+// change relative to synchronous growth, not a race. Only advertisers with
+// a private RR store overlap; ads sharing a store (share_samples) grow
+// synchronously so store appends stay ordered.
+
+#ifndef ISA_CORE_SELECTION_SCHEDULER_H_
+#define ISA_CORE_SELECTION_SCHEDULER_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/advertiser_engine.h"
+#include "core/problem.h"
+#include "core/ti_greedy.h"
+
+namespace isa::core {
+
+class SelectionScheduler {
+ public:
+  /// `ads` must hold one initialized engine per advertiser; `options` and
+  /// `pool` must outlive the scheduler.
+  SelectionScheduler(const RmInstance& instance, const TiOptions& options,
+                     ThreadPool& pool,
+                     std::span<const std::unique_ptr<AdvertiserEngine>> ads);
+
+  /// Runs the round loop to completion (every advertiser exhausted or the
+  /// max_seeds cap hit). Seeds are appended to allocation->seed_sets,
+  /// which must be pre-sized to one list per advertiser. Exceptions from
+  /// pool stages (realistically std::bad_alloc while sampling) propagate
+  /// to the caller.
+  void Run(Allocation* allocation);
+
+  uint64_t total_seeds() const { return total_seeds_; }
+
+ private:
+  uint32_t num_ads() const { return static_cast<uint32_t>(ads_.size()); }
+  double BudgetOf(uint32_t j) const;
+  /// Line 9: the committed advertiser under the selection rule, or
+  /// num_ads() when every advertiser is exhausted this round.
+  uint32_t SelectAd() const;
+  bool AnyGrowthPending() const;
+  /// Stage 1: adopt pending growths whose barrier arrived (all of them
+  /// when `adopt_all`), in ascending advertiser order, then run the
+  /// deferred Eq. 10 revision for each adopter.
+  void AdoptDueGrowths(uint64_t round, bool adopt_all);
+  /// Stage 4 for the round's winner.
+  void ScheduleGrowth(uint32_t j, uint64_t round);
+
+  const RmInstance& instance_;
+  const TiOptions& options_;
+  ThreadPool& pool_;
+  std::span<const std::unique_ptr<AdvertiserEngine>> ads_;
+  uint32_t round_robin_next_ = 0;
+  uint64_t total_seeds_ = 0;
+};
+
+}  // namespace isa::core
+
+#endif  // ISA_CORE_SELECTION_SCHEDULER_H_

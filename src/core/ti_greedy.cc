@@ -2,139 +2,20 @@
 
 #include <algorithm>
 #include <bit>
-#include <cmath>
 #include <memory>
+#include <new>
 #include <unordered_map>
 
-#include "common/logging.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
-#include "graph/pagerank.h"
-#include "rrset/parallel_sampler.h"
+#include "core/advertiser_engine.h"
+#include "core/selection_scheduler.h"
 #include "rrset/rr_collection.h"
-#include "rrset/rr_sampler.h"
 
 namespace isa::core {
 
 namespace {
-
-constexpr double kBudgetSlack = 1e-9;
-constexpr graph::NodeId kNoNode = rrset::RrCollection::kInvalidNode;
-
-// Lazy max-heap entry: coverage snapshot at push time. Entries whose
-// snapshot disagrees with the live count are refreshed on pop — valid
-// because coverage only decreases between sample growths (growths rebuild
-// the heap).
-struct HeapEntry {
-  uint32_t cov;
-  graph::NodeId node;
-};
-
-// Per-advertiser working state of Algorithm 2.
-struct AdState {
-  AdState(const graph::Graph& g, std::span<const double> probs,
-          const rrset::SampleSizerOptions& sizer_opts, uint64_t sampler_seed,
-          const rrset::ParallelSamplerOptions& sampler_opts,
-          std::shared_ptr<rrset::RrStore> shared_store,
-          rrset::DiffusionModel model, std::span<const double> costs,
-          bool ratio_keyed)
-      : collection(shared_store != nullptr
-                       ? rrset::RrCollection(std::move(shared_store))
-                       : rrset::RrCollection(g.num_nodes())),
-        sampler(g, probs, model, sampler_seed, sampler_opts),
-        sizer(g, probs, sizer_opts),
-        eligible(g.num_nodes(), 1),
-        costs(costs),
-        ratio_keyed_heap(ratio_keyed) {}
-
-  rrset::RrCollection collection;
-  rrset::ParallelSampler sampler;
-  rrset::SampleSizer sizer;
-  std::vector<uint8_t> eligible;  // unassigned globally & still in E for me
-  std::vector<graph::NodeId> seeds;
-
-  uint64_t theta = 0;
-  uint64_t latent_s = 1;  // s̃_j
-  double revenue = 0.0;
-  double seeding_cost = 0.0;
-  double payment = 0.0;
-  uint64_t growth_events = 0;
-
-  std::span<const double> costs;  // c_j(v), fixed per pair
-  // Lazy heap over candidate nodes. Keyed by coverage (kCoverage and the
-  // windowed kCoverageCostRatio) or directly by the coverage/cost ratio
-  // (full-window kCoverageCostRatio) — both keys are non-increasing between
-  // sample growths, which is what makes the lazy heap valid.
-  bool ratio_keyed_heap = false;
-  std::vector<HeapEntry> heap;
-  // PageRank order + consumed prefix (kPageRank rule).
-  std::vector<graph::NodeId> pr_order;
-  size_t pr_cursor = 0;
-
-  // Cached line-7 candidate.
-  bool candidate_fresh = false;
-  graph::NodeId candidate = kNoNode;
-  double cand_marg_rev = 0.0;
-  double cand_marg_pay = 0.0;
-
-  // Max-heap order: ratio cov/cost (cross-multiplied to dodge division by
-  // zero-cost nodes), ties by larger coverage, then smaller node id.
-  bool HeapBefore(const HeapEntry& a, const HeapEntry& b) const {
-    if (ratio_keyed_heap) {
-      const double lhs = static_cast<double>(a.cov) * costs[b.node];
-      const double rhs = static_cast<double>(b.cov) * costs[a.node];
-      if (lhs != rhs) return lhs > rhs;
-    }
-    if (a.cov != b.cov) return a.cov > b.cov;
-    return a.node < b.node;
-  }
-  // std::push_heap-style comparator ("less" = lower priority).
-  auto HeapCmp() {
-    return [this](const HeapEntry& a, const HeapEntry& b) {
-      return HeapBefore(b, a);
-    };
-  }
-
-  void RebuildHeap() {
-    heap.clear();
-    const graph::NodeId n = static_cast<graph::NodeId>(eligible.size());
-    for (graph::NodeId v = 0; v < n; ++v) {
-      const uint32_t cov = collection.CoverageOf(v);
-      if (eligible[v] && cov > 0) heap.push_back(HeapEntry{cov, v});
-    }
-    std::make_heap(heap.begin(), heap.end(), HeapCmp());
-  }
-
-  // Pops until the heap top is a live, eligible entry with an up-to-date
-  // coverage snapshot; returns false if the heap drains.
-  bool SettleHeapTop() {
-    auto cmp = HeapCmp();
-    while (!heap.empty()) {
-      const HeapEntry top = heap.front();
-      const uint32_t cur = collection.CoverageOf(top.node);
-      if (!eligible[top.node] || cur == 0) {
-        std::pop_heap(heap.begin(), heap.end(), cmp);
-        heap.pop_back();
-        continue;
-      }
-      if (cur != top.cov) {
-        std::pop_heap(heap.begin(), heap.end(), cmp);
-        heap.back().cov = cur;
-        std::push_heap(heap.begin(), heap.end(), cmp);
-        continue;
-      }
-      return true;
-    }
-    return false;
-  }
-};
-
-// a/b > c/d for non-negative ratios, robust to zero denominators
-// (x/0 ranks above anything finite when x > 0).
-bool RatioGreater(double a, double b, double c, double d) {
-  return a * d > c * b;
-}
 
 // Content hash of an ad's Eq.-1 probability vector. -0.0 is canonicalized
 // to +0.0 so vectors equal under operator== (the old pairwise-std::equal
@@ -149,321 +30,132 @@ uint64_t HashProbVector(std::span<const double> probs) {
   return h;
 }
 
-// Driver-side per-ad buffers, charged into TiAdStats::rr_memory_bytes so
-// Table 3 reports the true working set, not just the RR arrays.
-uint64_t AdWorkingBufferBytes(const AdState& ad) {
-  return ad.heap.capacity() * sizeof(HeapEntry) + ad.eligible.capacity() +
-         ad.pr_order.capacity() * sizeof(graph::NodeId) +
-         ad.seeds.capacity() * sizeof(graph::NodeId);
+// With share_samples, advertisers whose Eq. 1 probabilities are bitwise
+// identical (pure-competition ads) are grouped onto one RR store. A single
+// hash-of-contents pass replaces an O(h²·n) pairwise sweep; equality is
+// re-verified within a hash bucket, so a hash collision can only cost a
+// comparison, never a wrong grouping. Without sharing every ad is its own
+// group with a null entry (the engine then creates a private store).
+std::vector<std::vector<uint32_t>> GroupAdsByStore(
+    const RmInstance& instance, bool share_samples,
+    std::vector<std::shared_ptr<rrset::RrStore>>* store_of_ad) {
+  const uint32_t h = instance.num_ads();
+  std::vector<std::vector<uint32_t>> groups;
+  groups.reserve(h);
+  if (!share_samples) {
+    for (uint32_t j = 0; j < h; ++j) groups.push_back({j});
+    return groups;
+  }
+  const graph::NodeId n = instance.num_nodes();
+  std::unordered_map<uint64_t, std::vector<size_t>> groups_by_hash;
+  for (uint32_t j = 0; j < h; ++j) {
+    const auto probs_j = instance.ad_probs(j);
+    auto& bucket = groups_by_hash[HashProbVector(probs_j)];
+    bool found = false;
+    for (size_t gi : bucket) {
+      const auto probs_l = instance.ad_probs(groups[gi].front());
+      if (std::equal(probs_j.begin(), probs_j.end(), probs_l.begin(),
+                     probs_l.end())) {
+        (*store_of_ad)[j] = (*store_of_ad)[groups[gi].front()];
+        groups[gi].push_back(j);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      (*store_of_ad)[j] = std::make_shared<rrset::RrStore>(n);
+      bucket.push_back(groups.size());
+      groups.push_back({j});
+    }
+  }
+  return groups;
 }
 
 }  // namespace
 
 Result<TiResult> RunTiGreedy(const RmInstance& instance,
                              const TiOptions& options) {
-  const graph::Graph& g = instance.graph();
   const uint32_t h = instance.num_ads();
-  const uint32_t n = g.num_nodes();
+  const uint32_t n = instance.num_nodes();
   if (n == 0) return Status::InvalidArgument("RunTiGreedy: empty graph");
-  if (g.num_edges() == 0) {
+  if (instance.graph().num_edges() == 0) {
     return Status::InvalidArgument("RunTiGreedy: graph has no edges");
   }
   if (options.epsilon <= 0.0 || options.epsilon >= 1.0) {
     return Status::InvalidArgument("RunTiGreedy: epsilon must be in (0,1)");
   }
-  Stopwatch watch;
-  const double dn = static_cast<double>(n);
-
-  // One worker pool per invocation, shared by every parallel stage below
-  // (declared before `ads` so the AdStates that borrow it die first).
-  ThreadPool pool(options.num_threads);
-
-  // ---- Initialization (Algorithm 2 lines 1-4). ----
-  // With share_samples, advertisers whose Eq. 1 probabilities are bitwise
-  // identical (pure-competition ads) are grouped onto one RR store. A
-  // single hash-of-contents pass replaces the old O(h²·n) pairwise
-  // std::equal sweep; equality is re-verified within a hash bucket, so a
-  // hash collision can only cost a comparison, never a wrong grouping.
-  std::vector<std::shared_ptr<rrset::RrStore>> store_of_ad(h);
-  std::vector<std::vector<uint32_t>> groups;  // ads per store, ascending
-  groups.reserve(h);
-  if (options.share_samples) {
-    std::unordered_map<uint64_t, std::vector<size_t>> groups_by_hash;
-    for (uint32_t j = 0; j < h; ++j) {
-      const auto probs_j = instance.ad_probs(j);
-      auto& bucket = groups_by_hash[HashProbVector(probs_j)];
-      bool found = false;
-      for (size_t gi : bucket) {
-        const auto probs_l = instance.ad_probs(groups[gi].front());
-        if (std::equal(probs_j.begin(), probs_j.end(), probs_l.begin(),
-                       probs_l.end())) {
-          store_of_ad[j] = store_of_ad[groups[gi].front()];
-          groups[gi].push_back(j);
-          found = true;
-          break;
-        }
-      }
-      if (!found) {
-        store_of_ad[j] = std::make_shared<rrset::RrStore>(n);
-        bucket.push_back(groups.size());
-        groups.push_back({j});
-      }
-    }
-  } else {
-    for (uint32_t j = 0; j < h; ++j) groups.push_back({j});
-  }
-
-  // Per-advertiser init — KPT pilot, initial θ_j sample, PageRank/heap
-  // build — is independent across stores (ads sharing a store must adopt
-  // its prefix in ad order, so each group is one task that handles its ads
-  // in sequence). Each ad draws only from its own HashSeed(seed, j)
-  // substreams, so results are bit-identical at any worker count. Tasks
-  // themselves reenter the pool for sampling (see common/thread_pool.h).
-  std::vector<std::unique_ptr<AdState>> ads(h);
-  std::vector<Status> init_status(h);
-  pool.Run(groups.size(), [&](uint64_t gi) {
-    for (uint32_t j : groups[gi]) {
-      rrset::SampleSizerOptions sizer_opts;
-      sizer_opts.epsilon = options.epsilon;
-      sizer_opts.ell = options.ell;
-      sizer_opts.run_kpt_pilot = options.kpt_pilot;
-      sizer_opts.theta_cap = options.theta_cap;
-      sizer_opts.seed = HashSeed(options.seed, 1000 + j);
-      sizer_opts.model = options.propagation;
-      // When the group tasks alone saturate the pool, a nested parallel
-      // pilot buys no wall-clock but allocates O(concurrency) private
-      // samplers (O(n) epoch arrays) per concurrent pilot; run those
-      // pilots serially instead — the widths are bit-identical either way.
-      sizer_opts.pool = groups.size() >= pool.concurrency() ? nullptr : &pool;
-      const bool ratio_keyed =
-          options.candidate_rule == CandidateRule::kCoverageCostRatio &&
-          (options.window == 0 || options.window >= n);
-      rrset::ParallelSamplerOptions sampler_opts;
-      sampler_opts.num_threads = options.num_threads;
-      sampler_opts.pool = &pool;
-      ads[j] = std::make_unique<AdState>(
-          g, instance.ad_probs(j), sizer_opts, HashSeed(options.seed, j),
-          sampler_opts, store_of_ad[j], options.propagation,
-          instance.incentives(j), ratio_keyed);
-      AdState& ad = *ads[j];
-      for (graph::NodeId v : options.excluded_nodes) {
-        if (v < n) ad.eligible[v] = 0;
-      }
-      ad.theta = ad.sizer.ThetaFor(1);
-      ad.collection.AddSets(ad.sampler, ad.theta, {});
-      if (options.candidate_rule == CandidateRule::kPageRank) {
-        auto pr = graph::WeightedPageRank(g, instance.ad_probs(j));
-        if (!pr.ok()) {
-          init_status[j] = pr.status();
-          return;
-        }
-        ad.pr_order = graph::RankByScore(pr.value());
-      } else {
-        ad.RebuildHeap();
-      }
-    }
-  });
-  for (uint32_t j = 0; j < h; ++j) {
-    if (!init_status[j].ok()) return init_status[j];
-  }
-
-  // Window for the cost-sensitive candidate rule (0 = all nodes).
-  const uint32_t window = options.window == 0 ? n : options.window;
-  std::vector<HeapEntry> window_buf;
-  window_buf.reserve(std::min<uint32_t>(window, 4096));
-
-  // Line-7 candidate for advertiser j under the configured rule.
-  auto compute_candidate = [&](uint32_t j) {
-    AdState& ad = *ads[j];
-    ad.candidate = kNoNode;
-    ad.candidate_fresh = true;
-    graph::NodeId chosen = kNoNode;
-    switch (options.candidate_rule) {
-      case CandidateRule::kCoverage: {
-        if (ad.SettleHeapTop()) chosen = ad.heap.front().node;
-        break;
-      }
-      case CandidateRule::kCoverageCostRatio: {
-        if (ad.ratio_keyed_heap) {
-          // Full window: the heap is keyed by coverage/cost directly, so
-          // the settled top IS the Algorithm 5 candidate (footnote 10
-          // justifies the ratio form).
-          if (ad.SettleHeapTop()) chosen = ad.heap.front().node;
-          break;
-        }
-        // Windowed variant (Fig. 4): collect the top-`window` nodes by
-        // marginal coverage from the coverage-keyed heap, then pick the
-        // best coverage-to-cost ratio among them.
-        auto cmp = ad.HeapCmp();
-        window_buf.clear();
-        while (window_buf.size() < window && ad.SettleHeapTop()) {
-          window_buf.push_back(ad.heap.front());
-          std::pop_heap(ad.heap.begin(), ad.heap.end(), cmp);
-          ad.heap.pop_back();
-        }
-        double best_cov = 0.0, best_cost = 1.0;
-        for (const HeapEntry& e : window_buf) {
-          const double cov = static_cast<double>(e.cov);
-          const double cost = instance.incentive(j, e.node);
-          if (chosen == kNoNode || RatioGreater(cov, cost, best_cov,
-                                                best_cost) ||
-              (cov * best_cost == best_cov * cost && cov > best_cov)) {
-            chosen = e.node;
-            best_cov = cov;
-            best_cost = cost;
-          }
-        }
-        // Return the window to the heap (entries were validated).
-        for (const HeapEntry& e : window_buf) {
-          ad.heap.push_back(e);
-          std::push_heap(ad.heap.begin(), ad.heap.end(), cmp);
-        }
-        break;
-      }
-      case CandidateRule::kPageRank: {
-        while (ad.pr_cursor < ad.pr_order.size() &&
-               !ad.eligible[ad.pr_order[ad.pr_cursor]]) {
-          ++ad.pr_cursor;
-        }
-        if (ad.pr_cursor < ad.pr_order.size()) {
-          chosen = ad.pr_order[ad.pr_cursor];
-        }
-        break;
-      }
-    }
-    if (chosen == kNoNode) return;
-    ad.candidate = chosen;
-    const double frac = static_cast<double>(ad.collection.CoverageOf(chosen)) /
-                        static_cast<double>(ad.collection.total_sets());
-    ad.cand_marg_rev = instance.cpe(j) * dn * frac;  // line 8
-    ad.cand_marg_pay = ad.cand_marg_rev + instance.incentive(j, chosen);
-  };
-
-  // ---- Main loop (Algorithm 2 lines 5-22). ----
-  TiResult result;
-  result.allocation.seed_sets.assign(h, {});
-  uint64_t total_seeds = 0;
-  uint32_t round_robin_next = 0;
-
   if (!options.budget_override.empty() &&
       options.budget_override.size() != h) {
     return Status::InvalidArgument(
         "RunTiGreedy: budget_override must have one entry per advertiser");
   }
-  auto budget_of = [&](uint32_t j) {
-    return options.budget_override.empty() ? instance.budget(j)
-                                           : options.budget_override[j];
-  };
+  Stopwatch watch;
 
-  // Ensures ad j's cached candidate is budget-feasible, retiring infeasible
-  // nodes from j's ground set (Algorithm 1 line 12: a pair that fails the
-  // knapsack test leaves E permanently) until a feasible candidate is found
-  // or the ad runs out of candidates.
-  auto ensure_feasible_candidate = [&](uint32_t j) {
-    AdState& ad = *ads[j];
-    while (true) {
-      if (!ad.candidate_fresh) compute_candidate(j);
-      if (ad.candidate == kNoNode) return;
-      if (ad.payment + ad.cand_marg_pay <=
-          budget_of(j) + kBudgetSlack) {
-        return;
+  // One worker pool per invocation, shared by every parallel stage below
+  // (declared before `ads` so the engines that borrow it die first).
+  ThreadPool pool(options.num_threads);
+
+  // ---- Stage 0: store grouping + parallel per-advertiser init. ----
+  std::vector<std::shared_ptr<rrset::RrStore>> store_of_ad(h);
+  const std::vector<std::vector<uint32_t>> groups =
+      GroupAdsByStore(instance, options.share_samples, &store_of_ad);
+
+  TiResult result;
+  result.allocation.seed_sets.assign(h, {});
+  std::vector<std::unique_ptr<AdvertiserEngine>> ads(h);
+  std::vector<Status> init_status(h);
+  try {
+    // KPT pilot + initial θ_j sample + PageRank/heap build per advertiser,
+    // independent across stores (ads sharing a store must adopt its prefix
+    // in ad order, so each group is one task that handles its ads in
+    // sequence). Each ad draws only from its own HashSeed(seed, j)
+    // substreams, so results are bit-identical at any worker count. Tasks
+    // themselves reenter the pool for sampling (see common/thread_pool.h).
+    pool.Run(groups.size(), [&](uint64_t gi) {
+      for (uint32_t j : groups[gi]) {
+        AdvertiserEngineOptions eo;
+        eo.candidate_rule = options.candidate_rule;
+        eo.window = options.window == 0 ? n : options.window;
+        eo.ratio_keyed_heap =
+            options.candidate_rule == CandidateRule::kCoverageCostRatio &&
+            (options.window == 0 || options.window >= n);
+        eo.async_capable = options.async_growth && groups[gi].size() == 1;
+        eo.sampler_seed = HashSeed(options.seed, j);
+        eo.model = options.propagation;
+        eo.sizer.epsilon = options.epsilon;
+        eo.sizer.ell = options.ell;
+        eo.sizer.run_kpt_pilot = options.kpt_pilot;
+        eo.sizer.theta_cap = options.theta_cap;
+        eo.sizer.seed = HashSeed(options.seed, 1000 + j);
+        eo.sizer.model = options.propagation;
+        // When the group tasks alone saturate the pool, a nested parallel
+        // pilot buys no wall-clock but allocates O(concurrency) private
+        // samplers (O(n) epoch arrays) per concurrent pilot; run those
+        // pilots serially instead — the widths are bit-identical either way.
+        eo.sizer.pool =
+            groups.size() >= pool.concurrency() ? nullptr : &pool;
+        eo.sampler.num_threads = options.num_threads;
+        eo.sampler.pool = &pool;
+        eo.excluded_nodes = options.excluded_nodes;
+        ads[j] = std::make_unique<AdvertiserEngine>(j, instance,
+                                                    store_of_ad[j], eo);
+        init_status[j] = ads[j]->Init();
+        if (!init_status[j].ok()) return;
       }
-      ad.eligible[ad.candidate] = 0;
-      ad.candidate_fresh = false;
+    });
+    for (uint32_t j = 0; j < h; ++j) {
+      if (!init_status[j].ok()) return init_status[j];
     }
-  };
 
-  while (true) {
-    if (options.max_seeds != 0 && total_seeds >= options.max_seeds) break;
-
-    for (uint32_t j = 0; j < h; ++j) ensure_feasible_candidate(j);
-
-    // Line 9: commit the best feasible (node, advertiser) pair.
-    uint32_t chosen_ad = h;
-    if (options.selection_rule == SelectionRule::kRoundRobin) {
-      for (uint32_t step = 0; step < h; ++step) {
-        const uint32_t j = (round_robin_next + step) % h;
-        const AdState& ad = *ads[j];
-        if (ad.candidate != kNoNode &&
-            ad.payment + ad.cand_marg_pay <=
-                budget_of(j) + kBudgetSlack) {
-          chosen_ad = j;
-          round_robin_next = (j + 1) % h;
-          break;
-        }
-      }
-    } else {
-      double best_key_num = -1.0, best_key_den = 1.0;
-      for (uint32_t j = 0; j < h; ++j) {
-        const AdState& ad = *ads[j];
-        if (ad.candidate == kNoNode) continue;
-        if (ad.payment + ad.cand_marg_pay >
-            budget_of(j) + kBudgetSlack) {
-          continue;  // infeasible this round; revisited if state changes
-        }
-        double num, den;
-        if (options.selection_rule == SelectionRule::kMaxRate) {
-          num = ad.cand_marg_rev;
-          den = ad.cand_marg_pay;
-        } else {
-          num = ad.cand_marg_rev;
-          den = 1.0;
-        }
-        if (chosen_ad == h || RatioGreater(num, den, best_key_num,
-                                           best_key_den)) {
-          chosen_ad = j;
-          best_key_num = num;
-          best_key_den = den;
-        }
-      }
-    }
-    if (chosen_ad == h) break;  // line 16: all advertisers exhausted
-
-    // Lines 10-15: commit the pair.
-    AdState& ad = *ads[chosen_ad];
-    const graph::NodeId v = ad.candidate;
-    ad.seeds.push_back(v);
-    result.allocation.seed_sets[chosen_ad].push_back(v);
-    ++total_seeds;
-    ad.seeding_cost += instance.incentive(chosen_ad, v);
-    for (uint32_t k = 0; k < h; ++k) {
-      ads[k]->eligible[v] = 0;
-      if (ads[k]->candidate == v) ads[k]->candidate_fresh = false;
-    }
-    ad.collection.RemoveCoveredBy(v);
-    ad.revenue =
-        instance.cpe(chosen_ad) * dn * ad.collection.covered_fraction();
-    ad.payment = ad.revenue + ad.seeding_cost;
-    ad.candidate_fresh = false;
-
-    // Lines 17-21: latent seed-set size revision (Eq. 10) + sample growth.
-    if (ad.seeds.size() == ad.latent_s) {
-      const double f_max = ad.collection.MaxCoverageFraction();
-      const double denom = instance.max_incentive(chosen_ad) +
-                           instance.cpe(chosen_ad) * dn * f_max;
-      uint64_t inc = 0;
-      if (denom > 0.0) {
-        const double room = budget_of(chosen_ad) - ad.payment;
-        if (room > 0.0) inc = static_cast<uint64_t>(room / denom);
-      }
-      // Eq. 10 uses a worst-case per-seed payment, so inc == 0 can coexist
-      // with affordable cheap seeds; keep θ ahead of |S| by at least one.
-      if (inc == 0) inc = 1;
-      ad.latent_s += inc;
-      const uint64_t want = ad.sizer.ThetaFor(ad.latent_s);
-      if (want > ad.theta) {
-        ad.collection.AddSets(ad.sampler, want - ad.theta, ad.seeds);
-        ad.theta = want;
-        ++ad.growth_events;
-        if (options.candidate_rule != CandidateRule::kPageRank) {
-          ad.RebuildHeap();  // coverage went up; lazy heap invariant broken
-        }
-        // Algorithm 3: refresh estimates against the enlarged sample.
-        ad.revenue = instance.cpe(chosen_ad) * dn *
-                     ad.collection.covered_fraction();
-        ad.payment = ad.revenue + ad.seeding_cost;
-      }
-    }
+    // ---- Stages 1-4 per round: the selection scheduler (Alg. 2 l. 5-22).
+    SelectionScheduler scheduler(instance, options, pool, ads);
+    scheduler.Run(&result.allocation);
+  } catch (const std::bad_alloc&) {
+    // Marshaled through ThreadPool::Run / TaskGroup::Wait from a sampling
+    // or adoption task (or thrown inline): surface as a Status instead of
+    // terminating the process.
+    return Status::ResourceExhausted(
+        "RunTiGreedy: out of memory in a sampling/adoption stage");
   }
 
   // ---- Assemble result. ----
@@ -472,17 +164,17 @@ Result<TiResult> RunTiGreedy(const RmInstance& instance,
   result.ad_stats.resize(h);
   std::vector<const rrset::RrStore*> counted_stores;
   for (uint32_t j = 0; j < h; ++j) {
-    AdState& ad = *ads[j];
+    const AdvertiserEngine& ad = *ads[j];
     TiAdStats& st = result.ad_stats[j];
-    st.theta = ad.theta;
-    st.latent_seed_size = ad.latent_s;
-    st.seeds = ad.seeds.size();
-    st.revenue = ad.revenue;
-    st.seeding_cost = ad.seeding_cost;
-    st.payment = ad.payment;
-    st.rr_memory_bytes = ad.collection.MemoryBytes(/*include_store=*/false) +
-                         AdWorkingBufferBytes(ad);
-    const rrset::RrStore* store = ad.collection.store().get();
+    st.theta = ad.theta();
+    st.latent_seed_size = ad.latent_size();
+    st.seeds = ad.seeds().size();
+    st.revenue = ad.revenue();
+    st.seeding_cost = ad.seeding_cost();
+    st.payment = ad.payment();
+    st.rr_memory_bytes = ad.collection().MemoryBytes(/*include_store=*/false) +
+                         ad.WorkingBufferBytes();
+    const rrset::RrStore* store = ad.collection().store().get();
     if (std::find(counted_stores.begin(), counted_stores.end(), store) ==
         counted_stores.end()) {
       counted_stores.push_back(store);
@@ -490,9 +182,9 @@ Result<TiResult> RunTiGreedy(const RmInstance& instance,
       st.rr_index_bytes = store->IndexBytes();
       st.rr_index_legacy_bytes = store->LegacyIndexBytes();
     }
-    st.sample_growth_events = ad.growth_events;
-    result.total_revenue += ad.revenue;
-    result.total_seeding_cost += ad.seeding_cost;
+    st.sample_growth_events = ad.growth_events();
+    result.total_revenue += ad.revenue();
+    result.total_seeding_cost += ad.seeding_cost();
     result.total_seeds += st.seeds;
     result.total_theta += st.theta;
     result.total_rr_memory_bytes += st.rr_memory_bytes;

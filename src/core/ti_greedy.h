@@ -17,12 +17,23 @@
 //   PageRank-RR    next in ad-specific PageRank order  round-robin over ads
 //
 // Performance notes (beyond the pseudocode, behaviour-preserving):
-//   - per-ad lazy max-heaps over coverage: valid because coverage only
-//     decreases between sample growths; heaps are rebuilt when a sample
-//     grows;
+//   - per-ad lazy max-heaps over coverage with incremental repair: valid
+//     because coverage only decreases between sample growths; when a
+//     sample grows, only the nodes in the adoption's coverage-delta set
+//     are re-keyed instead of rescanning all n nodes (see
+//     core/advertiser_engine.h);
 //   - per-ad candidate caching: ad j's candidate can only change when j
 //     received a seed, j's sample grew, or the cached node was taken by
-//     another ad / found infeasible — so most rounds recompute one ad.
+//     another ad / found infeasible — so most rounds recompute one ad;
+//   - optional async θ-growth (TiOptions::async_growth): new sample
+//     batches are drawn on pool workers while other advertisers' rounds
+//     proceed, adopted at a deterministic barrier (see
+//     core/selection_scheduler.h).
+//
+// The implementation is layered: per-advertiser state lives in
+// core::AdvertiserEngine, the round loop in core::SelectionScheduler;
+// RunTiGreedy only validates options, groups shared stores, runs the
+// parallel init stage, and assembles the TiResult.
 
 #ifndef ISA_CORE_TI_GREEDY_H_
 #define ISA_CORE_TI_GREEDY_H_
@@ -96,6 +107,23 @@ struct TiOptions {
   /// paper's open problem (i) on TI-CSRM memory). Off by default — the
   /// paper's Algorithm 2 keeps one sample per advertiser.
   bool share_samples = false;
+  /// Overlap θ-growth with selection rounds (the staged engine's async
+  /// mode): when the sample sizer decides θ_j must grow, the new batch is
+  /// sampled on pool workers into side buffers while other advertisers'
+  /// rounds proceed, and is appended + adopted at a deterministic barrier
+  /// `growth_delay_rounds` rounds after the trigger (fixed round index,
+  /// ascending ad order at the barrier). A fixed seed therefore still
+  /// yields a bit-identical TiResult at ANY thread count; worker
+  /// availability only decides whether sampling actually overlaps. During
+  /// the gap the advertiser keeps selecting against its current sample, so
+  /// allocations can differ from the synchronous schedule —
+  /// deterministically so. Ads sharing a store (share_samples) always grow
+  /// synchronously, keeping store appends ordered.
+  bool async_growth = false;
+  /// Rounds between an async growth trigger and its adoption barrier
+  /// (values < 1 behave as 1). Larger values overlap more sampling but let
+  /// selection run longer on the smaller (noisier) sample.
+  uint32_t growth_delay_rounds = 2;
   /// Safety cap on total selected seeds (0 = unlimited).
   uint64_t max_seeds = 0;
   /// Nodes that may not be selected as seeds for any ad (e.g. users who

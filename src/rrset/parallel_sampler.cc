@@ -67,32 +67,28 @@ void ParallelSampler::SampleRange(uint32_t w, uint64_t first_id,
   }
 }
 
-void ParallelSampler::SampleAppend(RrStore& store, uint64_t count) {
+void ParallelSampler::SampleToBuffer(uint64_t first_id, uint64_t count,
+                                     std::vector<graph::NodeId>* nodes,
+                                     std::vector<uint32_t>* sizes) {
+  nodes->clear();
+  sizes->clear();
   if (count == 0) return;
-  const uint64_t first_id = store.num_sets();
   const uint32_t workers = WorkerCountFor(count);
   if (workers_.size() < workers) workers_.resize(workers);
 
   if (workers == 1) {
     // Inline path: no pool dispatch, still the per-id substreams, so the
-    // output is identical to any multi-worker run. An already-live pool is
-    // forwarded for the index build, but none is created just for it: a
-    // small batch can still trip a full-index compaction (the threshold is
-    // over TOTAL unindexed postings), which then runs serially for a
-    // standalone sampler whose pool was never needed for sampling — an
-    // accepted trade-off; the driver always passes a borrowed pool.
+    // output is identical to any multi-worker run.
     Shard shard;
     SampleRange(0, first_id, count, &shard);
-    store.AppendBatch(shard.nodes, shard.sizes,
-                      max_threads_ > 1 && borrowed_pool_ != nullptr
-                          ? borrowed_pool_
-                          : owned_pool_.get());
+    *nodes = std::move(shard.nodes);
+    *sizes = std::move(shard.sizes);
     return;
   }
 
   // Contiguous id ranges per worker: worker w gets [lo_w, lo_{w+1}), the
   // first `count % workers` ranges one set longer. Shards are merged in
-  // range order below, so ids land in the store exactly in sequence.
+  // range order below, so ids land in the output exactly in sequence.
   std::vector<Shard> shards(workers);
   std::vector<uint64_t> lo(workers + 1, first_id);
   const uint64_t base = count / workers;
@@ -100,27 +96,19 @@ void ParallelSampler::SampleAppend(RrStore& store, uint64_t count) {
   for (uint32_t w = 0; w < workers; ++w) {
     lo[w + 1] = lo[w] + base + (w < extra ? 1 : 0);
   }
-  ThreadPool* p = pool();
-  p->Run(workers, [&](uint64_t w) {
+  pool()->Run(workers, [&](uint64_t w) {
     SampleRange(static_cast<uint32_t>(w), lo[w], lo[w + 1] - lo[w],
                 &shards[w]);
   });
 
-  // Merge the shards in id order into one contiguous batch so the store
-  // sees (and indexes) the whole append as a unit — the resulting store,
-  // including vector capacities, is identical to a 1-worker run.
-  Shard merged;
-  merged.sizes.reserve(count);
+  sizes->reserve(count);
   size_t total_nodes = 0;
   for (const Shard& s : shards) total_nodes += s.nodes.size();
-  merged.nodes.reserve(total_nodes);
+  nodes->reserve(total_nodes);
   for (const Shard& shard : shards) {
-    merged.sizes.insert(merged.sizes.end(), shard.sizes.begin(),
-                        shard.sizes.end());
-    merged.nodes.insert(merged.nodes.end(), shard.nodes.begin(),
-                        shard.nodes.end());
+    sizes->insert(sizes->end(), shard.sizes.begin(), shard.sizes.end());
+    nodes->insert(nodes->end(), shard.nodes.begin(), shard.nodes.end());
   }
-  store.AppendBatch(merged.nodes, merged.sizes, p);
 
   // Release the extra workers' epoch arrays (O(n) each): with one sampler
   // per advertiser, keeping them alive between growth events would cost
@@ -128,6 +116,28 @@ void ParallelSampler::SampleAppend(RrStore& store, uint64_t count) {
   // path's tiny batches; multi-worker batches are large enough (>=
   // 2 * min_sets_per_thread) to amortize re-creation.
   workers_.resize(1);
+}
+
+void ParallelSampler::SampleAppend(RrStore& store, uint64_t count) {
+  if (count == 0) return;
+  const uint32_t workers = WorkerCountFor(count);
+  std::vector<graph::NodeId> nodes;
+  std::vector<uint32_t> sizes;
+  SampleToBuffer(store.num_sets(), count, &nodes, &sizes);
+  // The whole batch is appended (and indexed) as a unit, so the resulting
+  // store, including vector capacities, is identical to a 1-worker run.
+  // For the inline path an already-live pool is forwarded for the index
+  // build, but none is created just for it: a small batch can still trip a
+  // full-index compaction (the threshold is over TOTAL unindexed
+  // postings), which then runs serially for a standalone sampler whose
+  // pool was never needed for sampling — an accepted trade-off; the driver
+  // always passes a borrowed pool.
+  ThreadPool* p = workers == 1
+                      ? (max_threads_ > 1 && borrowed_pool_ != nullptr
+                             ? borrowed_pool_
+                             : owned_pool_.get())
+                      : pool();
+  store.AppendBatch(nodes, sizes, p);
 }
 
 }  // namespace isa::rrset

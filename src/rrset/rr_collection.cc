@@ -242,16 +242,18 @@ RrCollection::RrCollection(std::shared_ptr<RrStore> store)
     : store_(std::move(store)), coverage_(store_->num_nodes(), 0) {}
 
 void RrCollection::AddSets(RrSampler& sampler, uint64_t count, Rng& rng,
-                           std::span<const graph::NodeId> current_seeds) {
+                           std::span<const graph::NodeId> current_seeds,
+                           std::vector<graph::NodeId>* touched) {
   const uint64_t target = theta_ + count;
   if (store_->num_sets() < target) {
     store_->Sample(sampler, target - store_->num_sets(), rng);
   }
-  AdoptUpTo(target, current_seeds, /*pool=*/nullptr);
+  AdoptUpTo(target, current_seeds, /*pool=*/nullptr, touched);
 }
 
 void RrCollection::AddSets(ParallelSampler& sampler, uint64_t count,
-                           std::span<const graph::NodeId> current_seeds) {
+                           std::span<const graph::NodeId> current_seeds,
+                           std::vector<graph::NodeId>* touched) {
   const uint64_t target = theta_ + count;
   if (store_->num_sets() < target) {
     sampler.SampleAppend(*store_, target - store_->num_sets());
@@ -262,12 +264,15 @@ void RrCollection::AddSets(ParallelSampler& sampler, uint64_t count,
   const bool worth_sharding =
       postings >= 2 * std::max<uint64_t>(kMinPostingsPerAdoptWorker,
                                          store_->num_nodes());
-  AdoptUpTo(target, current_seeds, worth_sharding ? sampler.pool() : nullptr);
+  AdoptUpTo(target, current_seeds, worth_sharding ? sampler.pool() : nullptr,
+            touched);
 }
 
 void RrCollection::AdoptUpTo(uint64_t new_theta,
                              std::span<const graph::NodeId> current_seeds,
-                             ThreadPool* pool) {
+                             ThreadPool* pool,
+                             std::vector<graph::NodeId>* touched) {
+  if (touched != nullptr) touched->clear();
   const uint64_t first_new = theta_;
   alive_.resize(new_theta, 1);
   theta_ = new_theta;
@@ -298,14 +303,27 @@ void RrCollection::AdoptUpTo(uint64_t new_theta,
                 std::max<uint64_t>(kMinPostingsPerAdoptWorker,
                                    store_->num_nodes()));
   if (workers <= 1) {
+    if (touched != nullptr && touch_mark_.empty()) {
+      touch_mark_.assign(store_->num_nodes(), 0);
+    }
     for (uint64_t r = first_new; r < new_theta; ++r) {
       const auto members = store_->SetMembers(r);
       if (covered_by_seed(members)) {
         alive_[r] = 0;
         ++covered_count_;
       } else {
-        for (graph::NodeId v : members) ++coverage_[v];
+        for (graph::NodeId v : members) {
+          ++coverage_[v];
+          if (touched != nullptr && !touch_mark_[v]) {
+            touch_mark_[v] = 1;
+            touched->push_back(v);
+          }
+        }
       }
+    }
+    if (touched != nullptr) {
+      for (graph::NodeId v : *touched) touch_mark_[v] = 0;
+      std::sort(touched->begin(), touched->end());
     }
     return;
   }
@@ -335,6 +353,11 @@ void RrCollection::AdoptUpTo(uint64_t new_theta,
     }
   });
   for (uint64_t c : covered) covered_count_ += c;
+  // Merge workers cover contiguous ascending node ranges, so per-worker
+  // delta lists concatenated in worker order are globally ascending — the
+  // same `touched` contract as the serial pass, at any worker count.
+  std::vector<std::vector<graph::NodeId>> touched_shards(
+      touched != nullptr ? workers : 0);
   pool->Run(workers, [&](uint64_t w) {
     const graph::NodeId lo =
         static_cast<graph::NodeId>(uint64_t{n} * w / workers);
@@ -344,8 +367,14 @@ void RrCollection::AdoptUpTo(uint64_t new_theta,
       uint32_t add = 0;
       for (uint32_t w2 = 0; w2 < workers; ++w2) add += counts[w2][v];
       coverage_[v] += add;
+      if (touched != nullptr && add > 0) touched_shards[w].push_back(v);
     }
   });
+  if (touched != nullptr) {
+    for (const auto& shard : touched_shards) {
+      touched->insert(touched->end(), shard.begin(), shard.end());
+    }
+  }
 }
 
 graph::NodeId RrCollection::ArgmaxCoverage(
@@ -385,7 +414,12 @@ std::vector<graph::NodeId> RrCollection::TopCoverage(
   return candidates;
 }
 
-uint32_t RrCollection::RemoveCoveredBy(graph::NodeId v) {
+uint32_t RrCollection::RemoveCoveredBy(graph::NodeId v,
+                                       std::vector<graph::NodeId>* touched) {
+  if (touched != nullptr) {
+    touched->clear();
+    if (touch_mark_.empty()) touch_mark_.assign(store_->num_nodes(), 0);
+  }
   uint32_t removed = 0;
   store_->ForEachSetContaining(v, [&](uint32_t r) {
     if (r >= theta_) return false;  // ids ascend; rest is beyond the prefix
@@ -393,9 +427,19 @@ uint32_t RrCollection::RemoveCoveredBy(graph::NodeId v) {
     alive_[r] = 0;
     ++covered_count_;
     ++removed;
-    for (graph::NodeId w : store_->SetMembers(r)) --coverage_[w];
+    for (graph::NodeId w : store_->SetMembers(r)) {
+      --coverage_[w];
+      if (touched != nullptr && !touch_mark_[w]) {
+        touch_mark_[w] = 1;
+        touched->push_back(w);
+      }
+    }
     return true;
   });
+  if (touched != nullptr) {
+    for (graph::NodeId w : *touched) touch_mark_[w] = 0;
+    std::sort(touched->begin(), touched->end());
+  }
   return removed;
 }
 
@@ -407,8 +451,8 @@ double RrCollection::MaxCoverageFraction() const {
 }
 
 uint64_t RrCollection::MemoryBytes(bool include_store) const {
-  uint64_t bytes =
-      alive_.capacity() + coverage_.capacity() * sizeof(uint32_t);
+  uint64_t bytes = alive_.capacity() + coverage_.capacity() * sizeof(uint32_t) +
+                   touch_mark_.capacity();
   if (include_store) bytes += store_->MemoryBytes();
   return bytes;
 }

@@ -178,17 +178,33 @@ class RrCollection {
   /// the store if needed. Matching Algorithm 3's bookkeeping, any newly
   /// adopted set containing one of `current_seeds` is marked covered
   /// immediately so covered_fraction() stays the estimator of F_R(S) over
-  /// the enlarged sample.
+  /// the enlarged sample. When `touched` is non-null it is cleared and
+  /// filled with the nodes whose coverage increased, ascending — the delta
+  /// set incremental heap repair keys on (see core/advertiser_engine.h).
   void AddSets(RrSampler& sampler, uint64_t count, Rng& rng,
-               std::span<const graph::NodeId> current_seeds);
+               std::span<const graph::NodeId> current_seeds,
+               std::vector<graph::NodeId>* touched = nullptr);
 
   /// As above, but sampling through the deterministic parallel engine: the
   /// adopted sets are bit-identical for a fixed sampler seed at any worker
   /// count (see parallel_sampler.h). Coverage accumulation over the newly
   /// adopted sets runs on the sampler's pool (per-worker count arrays
-  /// merged in node order — integer sums, so again bit-identical).
+  /// merged in node order — integer sums, so again bit-identical; the
+  /// `touched` delta set is likewise ascending at any worker count).
   void AddSets(ParallelSampler& sampler, uint64_t count,
-               std::span<const graph::NodeId> current_seeds);
+               std::span<const graph::NodeId> current_seeds,
+               std::vector<graph::NodeId>* touched = nullptr);
+
+  /// Adopts sets already present in the store up to prefix length
+  /// `new_theta` (>= total_sets(); the store must hold that many). This is
+  /// the async θ-growth barrier path: the scheduler samples into side
+  /// buffers while selection proceeds, appends them to the store at the
+  /// barrier, and adopts here. Coverage accumulation shards across `pool`
+  /// when given and worthwhile; `touched` as in AddSets.
+  void AdoptUpTo(uint64_t new_theta,
+                 std::span<const graph::NodeId> current_seeds,
+                 ThreadPool* pool = nullptr,
+                 std::vector<graph::NodeId>* touched = nullptr);
 
   /// Number of alive (not yet covered) adopted sets containing v. Divided
   /// by total_sets() this is the marginal coverage gain of v.
@@ -207,8 +223,12 @@ class RrCollection {
 
   /// Marks all alive adopted sets containing `v` covered and updates the
   /// coverage counts of their members. Returns how many sets were newly
-  /// covered.
-  uint32_t RemoveCoveredBy(graph::NodeId v);
+  /// covered. When `touched` is non-null it is cleared and filled with the
+  /// nodes whose coverage decreased (members of the newly covered sets),
+  /// ascending — the windowed candidate rule uses this delta set to avoid
+  /// re-settling unaffected window entries.
+  uint32_t RemoveCoveredBy(graph::NodeId v,
+                           std::vector<graph::NodeId>* touched = nullptr);
 
   /// θ — sets adopted by this view.
   uint64_t total_sets() const { return theta_; }
@@ -240,15 +260,14 @@ class RrCollection {
   bool IsAlive(uint64_t r) const { return alive_[r] != 0; }
 
  private:
-  void AdoptUpTo(uint64_t new_theta,
-                 std::span<const graph::NodeId> current_seeds,
-                 ThreadPool* pool);
-
   std::shared_ptr<RrStore> store_;
   uint64_t theta_ = 0;                 // adopted prefix length
   std::vector<uint8_t> alive_;         // per adopted set
   std::vector<uint32_t> coverage_;     // per node, over alive adopted sets
   uint64_t covered_count_ = 0;
+  // Scratch for delta collection: per-node dedup marks (lazily allocated,
+  // reset via the collected list rather than O(n) clears).
+  std::vector<uint8_t> touch_mark_;
 };
 
 }  // namespace isa::rrset

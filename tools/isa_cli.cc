@@ -41,10 +41,15 @@ constexpr const char* kUsage = R"(isa_cli — incentivized social advertising ca
   --algorithm NAME      ti-csrm | ti-carm | pagerank-gr | pagerank-rr [ti-csrm]
   --model PROP          ic | lt (propagation model)      [ic]
   --epsilon E           RR estimation accuracy           [0.3]
-  --window W            TI-CSRM window size (0 = full)   [0]
+  --window W            TI-CSRM window size (0 = full; the Fig. 4
+                        quality/latency trade-off knob)  [0]
   --theta-cap T         max RR sets per advertiser       [500000]
   --threads T           RR sampling workers (0 = hardware) [0]
   --share-samples       share RR stores across identical ads
+  --async-growth        overlap sample growth with selection rounds
+                        (deterministic barrier; see TiOptions)
+  --growth-delay R      rounds between an async growth trigger and
+                        its adoption barrier               [2]
   --seed S              master RNG seed (results are identical
                         at any --threads for a fixed seed)  [42]
   --seeds-csv PATH      write the chosen (ad, seed, incentive) rows as CSV
@@ -63,7 +68,8 @@ int main(int argc, char** argv) {
       argc, argv,
       {"graph", "synthetic", "nodes", "ads", "budget", "cpe", "incentives",
        "alpha", "algorithm", "model", "epsilon", "window", "theta-cap",
-       "threads", "share-samples", "seed", "seeds-csv", "validate", "help"});
+       "threads", "share-samples", "async-growth", "growth-delay", "seed",
+       "seeds-csv", "validate", "help"});
   if (!flags_result.ok()) {
     std::fputs(kUsage, stderr);
     return Fail(flags_result.status());
@@ -160,6 +166,10 @@ int main(int argc, char** argv) {
   options.seed = seed;
   options.share_samples =
       flags.GetBool("share-samples", false).value_or(false);
+  options.async_growth =
+      flags.GetBool("async-growth", false).value_or(false);
+  options.growth_delay_rounds =
+      static_cast<uint32_t>(flags.GetInt("growth-delay", 2).value_or(2));
   const std::string prop = flags.GetString("model", "ic").value_or("ic");
   if (prop == "lt") {
     options.propagation = isa::rrset::DiffusionModel::kLinearThreshold;
