@@ -69,7 +69,7 @@ void SampleSizeStudy() {
       table.AddCell(s);
       table.AddCell(sized.ThetaFor(s));
       table.AddCell(plain.ThetaFor(s));
-      table.AddCell(sized.OptLowerBound(s), 1);
+      table.AddCell(sized.OptLowerBound(), 1);
       isa::bench::Check(table.EndRow(), "row");
     }
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/logging.h"
 #include "graph/pagerank.h"
 
 namespace isa::core {
@@ -91,8 +92,12 @@ AdvertiserEngine::AdvertiserEngine(uint32_t ad, const RmInstance& instance,
                       : rrset::RrCollection(instance.graph().num_nodes())),
       sampler_(instance.graph(), instance.ad_probs(ad), options.model,
                options.sampler_seed, options.sampler),
-      sizer_(instance.graph(), instance.ad_probs(ad), options.sizer),
+      schedule_(options.sizer),
       eligible_(instance.graph().num_nodes(), 1) {
+  // The sizer is the driver's responsibility (one per store, pilot already
+  // run); a missing one would otherwise surface as a null deref deep in
+  // Init's first schedule query.
+  ISA_CHECK(options_.sizer != nullptr);
   for (graph::NodeId v : options_.excluded_nodes) {
     if (v < eligible_.size()) eligible_[v] = 0;
   }
@@ -106,7 +111,7 @@ AdvertiserEngine::AdvertiserEngine(uint32_t ad, const RmInstance& instance,
 AdvertiserEngine::~AdvertiserEngine() = default;
 
 Status AdvertiserEngine::Init() {
-  theta_ = sizer_.ThetaFor(1);
+  theta_ = schedule_.ThetaFor(1);
   collection_.AddSets(sampler_, theta_, {});
   if (options_.candidate_rule == CandidateRule::kPageRank) {
     auto pr = graph::WeightedPageRank(instance_.graph(),
@@ -282,9 +287,19 @@ uint64_t AdvertiserEngine::MaybeReviseLatentSize(double budget) {
   // Eq. 10 uses a worst-case per-seed payment, so inc == 0 can coexist
   // with affordable cheap seeds; keep s̃ ahead of |S| by at least one.
   if (inc == 0) inc = 1;
-  latent_s_ += inc;
-  const uint64_t want = sizer_.ThetaFor(latent_s_);
-  return want > theta_ ? want : 0;
+  // s̃ beyond n is meaningless (at most n seeds exist); clamping here keeps
+  // the schedule's clamp diagnostics reserved for genuine misuse.
+  latent_s_ = std::min<uint64_t>(latent_s_ + inc,
+                                 instance_.graph().num_nodes());
+  const uint64_t want = schedule_.ThetaFor(latent_s_);
+  if (want <= theta_) {
+    // The schedule is already satisfied — either θ(s̃) is flat here or the
+    // cap saturated. The growth machinery idles this revision; counted so
+    // runs can tell "never engaged" from "engaged and then saturated".
+    ++idle_revisions_;
+    return 0;
+  }
+  return want;
 }
 
 void AdvertiserEngine::FinishGrowth() {

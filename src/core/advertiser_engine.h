@@ -134,7 +134,10 @@ struct AdvertiserEngineOptions {
   bool async_capable = false;
   uint64_t sampler_seed = 0;
   rrset::DiffusionModel model = rrset::DiffusionModel::kIndependentCascade;
-  rrset::SampleSizerOptions sizer;
+  /// The store's sample sizer, with the KPT pilot already run — built once
+  /// per RR store by the driver (ads sharing a store share one pilot) and
+  /// consumed here through a per-ad ThetaSchedule.
+  std::shared_ptr<const rrset::SampleSizer> sizer;
   rrset::ParallelSamplerOptions sampler;
   std::span<const graph::NodeId> excluded_nodes;
 };
@@ -143,9 +146,9 @@ class AdvertiserEngine {
  public:
   static constexpr graph::NodeId kNoNode = rrset::RrCollection::kInvalidNode;
 
-  /// Runs the KPT pilot (inside SampleSizer's constructor). Typically
-  /// invoked from a parallel init task; each engine draws only from its own
-  /// seed substreams, so construction order does not matter.
+  /// Typically invoked from a parallel init task; each engine draws only
+  /// from its own seed substreams, so construction order does not matter.
+  /// options.sizer must carry the store's already-piloted SampleSizer.
   AdvertiserEngine(uint32_t ad, const RmInstance& instance,
                    std::shared_ptr<rrset::RrStore> shared_store,
                    const AdvertiserEngineOptions& options);
@@ -218,7 +221,14 @@ class AdvertiserEngine {
   double revenue() const { return revenue_; }
   double seeding_cost() const { return seeding_cost_; }
   double payment() const { return payment_; }
+  /// Sample growths adopted (sync + async) — the "growth engaged" counter.
   uint64_t growth_events() const { return growth_events_; }
+  /// Eq. 10 revisions that raised s̃ but needed no extra samples (θ(s̃)
+  /// already satisfied, typically because the schedule is cap-saturated) —
+  /// the "growth idle" counter.
+  uint64_t idle_revisions() const { return idle_revisions_; }
+  /// The θ schedule (pilot diagnostics via schedule().sizer()).
+  const rrset::ThetaSchedule& schedule() const { return schedule_; }
   const rrset::RrCollection& collection() const { return collection_; }
 
   /// Driver-side per-ad buffers (heap, window, bitmaps, PageRank order),
@@ -259,7 +269,7 @@ class AdvertiserEngine {
 
   rrset::RrCollection collection_;
   rrset::ParallelSampler sampler_;
-  rrset::SampleSizer sizer_;
+  rrset::ThetaSchedule schedule_;
 
   std::vector<uint8_t> eligible_;  // unassigned globally & still in E for me
   std::vector<graph::NodeId> seeds_;
@@ -270,6 +280,7 @@ class AdvertiserEngine {
   double seeding_cost_ = 0.0;
   double payment_ = 0.0;
   uint64_t growth_events_ = 0;
+  uint64_t idle_revisions_ = 0;
 
   CoverageHeap heap_;
   // Persistent top-w window (windowed cost-sensitive rule only).

@@ -11,9 +11,12 @@
 //                 (line 9); the node leaves every ground set and the
 //                 winner's covered RR sets are removed (lines 10-15);
 //   4. growth   — if the winner's seed count reached its latent size s̃_j,
-//                 Eq. 10 revises s̃_j; a required sample growth either runs
-//                 synchronously or, in async mode, starts sampling on pool
-//                 workers while subsequent rounds proceed (lines 17-21).
+//                 Eq. 10 revises s̃_j and the ad's monotone ThetaSchedule
+//                 (rrset/sample_sizer.h) decides whether θ_j must grow; a
+//                 required growth either runs synchronously or, in async
+//                 mode, starts sampling on pool workers while subsequent
+//                 rounds proceed (lines 17-21). Revisions the schedule
+//                 already satisfies are counted as idle (observability).
 //
 // Determinism barrier protocol (async mode): a growth triggered in round r
 // adopts at the start of round r + growth_delay_rounds, and barriers that

@@ -108,10 +108,28 @@ Result<TiResult> RunTiGreedy(const RmInstance& instance,
     // KPT pilot + initial θ_j sample + PageRank/heap build per advertiser,
     // independent across stores (ads sharing a store must adopt its prefix
     // in ad order, so each group is one task that handles its ads in
-    // sequence). Each ad draws only from its own HashSeed(seed, j)
-    // substreams, so results are bit-identical at any worker count. Tasks
-    // themselves reenter the pool for sampling (see common/thread_pool.h).
+    // sequence). The pilot runs ONCE per store: ads in a group have
+    // bitwise-identical Eq. 1 probabilities, so one SampleSizer — seeded by
+    // the group leader — serves every member's ThetaSchedule. Each group
+    // draws only from its own HashSeed(seed, leader) substreams, so results
+    // are bit-identical at any worker count. Tasks themselves reenter the
+    // pool for sampling (see common/thread_pool.h).
     pool.Run(groups.size(), [&](uint64_t gi) {
+      const uint32_t leader = groups[gi].front();
+      rrset::SampleSizerOptions so;
+      so.epsilon = options.epsilon;
+      so.ell = options.ell;
+      so.run_kpt_pilot = options.kpt_pilot;
+      so.theta_cap = options.theta_cap;
+      so.seed = HashSeed(options.seed, 1000 + leader);
+      so.model = options.propagation;
+      // When the group tasks alone saturate the pool, a nested parallel
+      // pilot buys no wall-clock but allocates O(concurrency) private
+      // samplers (O(n) epoch arrays) per concurrent pilot; run those
+      // pilots serially instead — the widths are bit-identical either way.
+      so.pool = groups.size() >= pool.concurrency() ? nullptr : &pool;
+      auto sizer = std::make_shared<const rrset::SampleSizer>(
+          instance.graph(), instance.ad_probs(leader), so);
       for (uint32_t j : groups[gi]) {
         AdvertiserEngineOptions eo;
         eo.candidate_rule = options.candidate_rule;
@@ -122,18 +140,7 @@ Result<TiResult> RunTiGreedy(const RmInstance& instance,
         eo.async_capable = options.async_growth && groups[gi].size() == 1;
         eo.sampler_seed = HashSeed(options.seed, j);
         eo.model = options.propagation;
-        eo.sizer.epsilon = options.epsilon;
-        eo.sizer.ell = options.ell;
-        eo.sizer.run_kpt_pilot = options.kpt_pilot;
-        eo.sizer.theta_cap = options.theta_cap;
-        eo.sizer.seed = HashSeed(options.seed, 1000 + j);
-        eo.sizer.model = options.propagation;
-        // When the group tasks alone saturate the pool, a nested parallel
-        // pilot buys no wall-clock but allocates O(concurrency) private
-        // samplers (O(n) epoch arrays) per concurrent pilot; run those
-        // pilots serially instead — the widths are bit-identical either way.
-        eo.sizer.pool =
-            groups.size() >= pool.concurrency() ? nullptr : &pool;
+        eo.sizer = sizer;
         eo.sampler.num_threads = options.num_threads;
         eo.sampler.pool = &pool;
         eo.excluded_nodes = options.excluded_nodes;
@@ -183,6 +190,12 @@ Result<TiResult> RunTiGreedy(const RmInstance& instance,
       st.rr_index_legacy_bytes = store->LegacyIndexBytes();
     }
     st.sample_growth_events = ad.growth_events();
+    st.idle_growth_revisions = ad.idle_revisions();
+    st.theta_cap_hits = ad.schedule().cap_hits();
+    const rrset::SampleSizer& sizer = ad.schedule().sizer();
+    st.kpt_lower_bound = sizer.OptLowerBound();
+    st.pilot_sets = sizer.pilot_sets();
+    st.pilot_converged = sizer.pilot_converged();
     result.total_revenue += ad.revenue();
     result.total_seeding_cost += ad.seeding_cost();
     result.total_seeds += st.seeds;
@@ -190,6 +203,13 @@ Result<TiResult> RunTiGreedy(const RmInstance& instance,
     result.total_rr_memory_bytes += st.rr_memory_bytes;
     result.total_rr_index_bytes += st.rr_index_bytes;
     result.total_rr_index_legacy_bytes += st.rr_index_legacy_bytes;
+    result.total_growth_events += st.sample_growth_events;
+    result.total_theta_cap_hits += st.theta_cap_hits;
+    if (st.sample_growth_events > 0) {
+      ++result.ads_growth_engaged;
+    } else {
+      ++result.ads_growth_idle;
+    }
   }
   result.elapsed_seconds = watch.ElapsedSeconds();
   return result;

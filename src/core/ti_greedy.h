@@ -3,9 +3,11 @@
 //
 // The driver follows Algorithm 2: every advertiser j keeps its own RR-set
 // collection R_j (sampled under its Eq.-1 probabilities) with sample size
-// θ_j = L(s̃_j, ε) (Eq. 8), where the latent seed-set size s̃_j starts at 1
-// and is revised by Eq. 10 whenever |S_j| reaches it; newly drawn RR sets
-// are folded into the running spread estimates (Algorithm 3). Each round,
+// θ_j = L(s̃_j, ε) (Eq. 8) — one KPT pilot per store fixes the OPT lower
+// bound, and a per-ad monotone ThetaSchedule memoizes the resulting θ
+// table (see rrset/sample_sizer.h) — where the latent seed-set size s̃_j
+// starts at 1 and is revised by Eq. 10 whenever |S_j| reaches it; newly
+// drawn RR sets are folded into the running spread estimates (Algorithm 3). Each round,
 // a candidate node is chosen per advertiser (line 7) and one (node,
 // advertiser) pair is committed (line 9):
 //
@@ -91,8 +93,10 @@ struct TiOptions {
   /// server); this valve keeps laptop-scale runs bounded while preserving
   /// the estimator (a smaller sample only loosens the accuracy guarantee).
   uint64_t theta_cap = 2'000'000;
-  /// Run the KPT pilot for the OPT_s lower bound (recommended); when off,
-  /// OPT_s >= s is the only bound and θ is much larger.
+  /// Run the KPT pilot for Eq. 8's OPT lower bound (recommended). One
+  /// pilot runs per RR store — ads sharing a store (share_samples) share
+  /// its pilot. When off, the lower bound degenerates to 1 and θ is much
+  /// larger. See rrset/sample_sizer.h for the pilot/schedule split.
   bool kpt_pilot = true;
   /// Propagation model the RR sets are drawn under. The paper uses TIC
   /// (topic-aware IC); Linear Threshold is supported because RR-set theory
@@ -152,7 +156,19 @@ struct TiAdStats {
   /// same postings — the Table 3 before/after comparison.
   uint64_t rr_index_bytes = 0;
   uint64_t rr_index_legacy_bytes = 0;
+  /// θ-schedule observability (see rrset/sample_sizer.h). Growth engaged =
+  /// sample_growth_events > 0; idle Eq. 10 revisions mean the schedule was
+  /// already satisfied (flat θ or cap saturation) when s̃ rose.
   uint64_t sample_growth_events = 0;
+  uint64_t idle_growth_revisions = 0;
+  /// Schedule queries that saturated at TiOptions::theta_cap.
+  uint64_t theta_cap_hits = 0;
+  /// The store's KPT pilot: its OPT lower bound, drawn set count, and
+  /// whether the doubling loop converged (shared-store ads report the
+  /// group's single pilot).
+  double kpt_lower_bound = 0.0;
+  uint64_t pilot_sets = 0;
+  bool pilot_converged = false;
 };
 
 struct TiResult {
@@ -165,6 +181,12 @@ struct TiResult {
   uint64_t total_rr_memory_bytes = 0;
   uint64_t total_rr_index_bytes = 0;
   uint64_t total_rr_index_legacy_bytes = 0;
+  /// Aggregate θ-growth observability: total adoptions, how many ads ever
+  /// grew their sample past θ(1), and how many never did.
+  uint64_t total_growth_events = 0;
+  uint32_t ads_growth_engaged = 0;
+  uint32_t ads_growth_idle = 0;
+  uint64_t total_theta_cap_hits = 0;
   double elapsed_seconds = 0.0;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/logging.h"
 #include "common/thread_pool.h"
 #include "rrset/parallel_sampler.h"
 
@@ -272,6 +273,12 @@ void RrCollection::AdoptUpTo(uint64_t new_theta,
                              std::span<const graph::NodeId> current_seeds,
                              ThreadPool* pool,
                              std::vector<graph::NodeId>* touched) {
+  // Adopted prefixes only grow (the θ schedule is monotone) and can never
+  // run ahead of the physical store; a violation here means a scheduler
+  // bug (e.g. adopting before the async batch was appended), not bad user
+  // input — catch it at the boundary instead of underflowing below.
+  ISA_CHECK(new_theta >= theta_);
+  ISA_CHECK(new_theta <= store_->num_sets());
   if (touched != nullptr) touched->clear();
   const uint64_t first_new = theta_;
   alive_.resize(new_theta, 1);

@@ -1,20 +1,37 @@
 // TIM-style sample-size determination (Tang et al., adapted in paper §4.2).
 //
 // Equation (8): for seed-set size s and accuracy ε,
-//   L(s, ε) = (8 + 2ε) · n · (ℓ·log n + log C(n, s) + log 2) / (OPT_s · ε²)
+//   L(s, ε) = (8 + 2ε) · n · (ℓ·log n + log C(n, s) + log 2) / (OPT · ε²)
 // RR samples of size θ ≥ L(s, ε) estimate the spread of *any* seed set of
 // size ≤ s within ±(ε/2)·OPT_s w.h.p. — the oracle property TI-CARM /
 // TI-CSRM rely on (IMM/SSA tune their samples only for the greedy solution
 // and cannot serve as spread oracles; see paper §4.1).
 //
-// OPT_s is unknown; we plug in a lower bound. Two sources, combined by max:
-//   1. OPT_s ≥ s (every seed engages itself);
-//   2. a KPT-style pilot estimate (TIM Algorithm 2): from a pilot sample of
-//      RR widths w(R), KPT(s) = n/2 · mean(1 − (1 − w(R)/m)^s) once the
-//      doubling loop finds a scale where the mean crosses 1/2^i.
-// A larger lower bound only shrinks θ; correctness needs a genuine lower
-// bound, which both sources are (KPT ≤ OPT_1 ≤ OPT_s in expectation, with
-// the doubling-loop concentration argument of TIM).
+// The machinery is split in two, matching the paper's contract:
+//
+//   SampleSizer   — the KPT pilot, run ONCE per RR store (TIM Algorithm 2
+//                   with k = 1). Its product is a single scalar lower bound
+//                   on OPT: max(1, KPT), where KPT = n/2 · mean(w(R)/m)
+//                   over the pilot widths of the converged doubling round.
+//                   KPT ≤ OPT_1 ≤ OPT_s for every s (monotonicity), so one
+//                   pilot serves the whole schedule. SampleSizer::ThetaFor
+//                   is the raw Eq. 8 evaluator over that fixed denominator.
+//   ThetaSchedule — the per-s sample-size table L(s, ε) consumed by the
+//                   selection engine: a lazily memoized, monotone
+//                   (running-max) view of ThetaFor. Adopted samples never
+//                   shrink (Algorithm 2 line 19 only appends), so the
+//                   schedule is non-decreasing in s by construction even
+//                   where raw Eq. 8 dips (log C(n, s) peaks at s = n/2).
+//
+// Earlier revisions re-evaluated the KPT bound per s from the retained
+// pilot widths and floored it with OPT_s ≥ s. Both inflate the denominator
+// as s grows: the per-s re-evaluation has no concentration guarantee (the
+// doubling-loop threshold was crossed for k = 1 only), and the combined
+// bound grew at least as fast as the λ(s) numerator — so θ(s̃) was
+// non-increasing, the θ-growth machinery idled, and the whole sample was
+// (over-)drawn up front. Eq. 8's faithful reading keeps the denominator
+// fixed at the pilot estimate; a smaller lower bound only enlarges θ,
+// which is the safe direction for the oracle guarantee.
 //
 // Determinism contract (same as rrset::ParallelSampler): every pilot set
 // has an absolute id — its position in the doubling loop's concatenated
@@ -27,6 +44,7 @@
 #define ISA_RRSET_SAMPLE_SIZER_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -65,33 +83,104 @@ struct SampleSizerOptions {
   uint64_t min_pilot_sets_per_task = 256;
 };
 
-/// Computes θ(s) = ceil(L(s, ε) / OPT_lb(s)) for one (graph, ad) pair.
+/// The once-per-store KPT pilot plus the raw Eq. 8 evaluator. Not
+/// thread-safe after construction: the diagnostic counters mutate on
+/// (const) ThetaFor calls, so concurrent readers must hold distinct sizers
+/// or serialize externally — the TI driver queries only from the group's
+/// init task and then the single scheduler thread.
 class SampleSizer {
  public:
   /// Runs the KPT pilot (unless disabled) using private samplers over
-  /// `probs`. The pilot widths are retained so ThetaFor(s) can re-evaluate
-  /// the KPT bound for any s without resampling.
+  /// `probs`; retains only the pilot's scalar products (KPT estimate,
+  /// convergence flag, set count), not the widths.
   SampleSizer(const graph::Graph& g, std::span<const double> probs,
               const SampleSizerOptions& options);
 
-  /// Required sample size for seed-set size `s` (Eq. 8 with the OPT lower
-  /// bound described above), clamped to [1, theta_cap].
+  /// Raw Eq. 8 for seed-set size `s` over the fixed pilot denominator,
+  /// clamped to [1, theta_cap]. Out-of-range `s` (0 or > n) is clamped to
+  /// [1, n]; both the clamp and a theta_cap saturation are counted (and
+  /// warned about once) rather than silent — see clamped_s_queries() /
+  /// theta_cap_hits(). Selection engines should consume the monotone
+  /// ThetaSchedule instead of calling this per round.
   uint64_t ThetaFor(uint64_t s) const;
 
-  /// The OPT_s lower bound used by ThetaFor (exposed for tests/diagnostics).
-  double OptLowerBound(uint64_t s) const;
+  /// The fixed OPT lower bound ThetaFor divides by: max(1, KPT). Constant
+  /// in s — KPT ≤ OPT_1 ≤ OPT_s (see file comment).
+  double OptLowerBound() const;
+
+  /// The pilot's KPT estimate (0 when the pilot was disabled or skipped).
+  double kpt() const { return kpt_; }
+
+  /// False when the doubling loop fell off its last round without the mean
+  /// κ crossing the 1/2^i threshold (the estimate is then taken from the
+  /// final round anyway — a valid but weakly concentrated lower bound) or
+  /// when the pilot never ran. Logged once at pilot time.
+  bool pilot_converged() const { return pilot_converged_; }
 
   /// Number of pilot RR sets drawn (0 if the pilot was disabled).
-  uint64_t pilot_sets() const { return pilot_widths_.size(); }
+  uint64_t pilot_sets() const { return pilot_sets_; }
+
+  /// Doubling rounds actually run.
+  uint32_t pilot_rounds() const { return pilot_rounds_; }
+
+  /// Times ThetaFor saturated at options.theta_cap.
+  uint64_t theta_cap_hits() const { return theta_cap_hits_; }
+
+  /// Times ThetaFor was queried with s outside [1, n].
+  uint64_t clamped_s_queries() const { return clamped_s_queries_; }
+
+  uint64_t n() const { return n_; }
+  const SampleSizerOptions& options() const { return options_; }
 
  private:
   void RunPilot(const graph::Graph& g, std::span<const double> probs);
-  double KptFor(uint64_t s) const;
 
   SampleSizerOptions options_;
   uint64_t n_ = 0;
   uint64_t m_ = 0;
-  std::vector<uint64_t> pilot_widths_;
+  double kpt_ = 0.0;
+  bool pilot_converged_ = false;
+  uint64_t pilot_sets_ = 0;
+  uint32_t pilot_rounds_ = 0;
+
+  // Diagnostics (see class comment for the thread-safety contract); the
+  // warn flags keep the log to one line per sizer per condition.
+  mutable uint64_t theta_cap_hits_ = 0;
+  mutable uint64_t clamped_s_queries_ = 0;
+  mutable bool warned_cap_ = false;
+  mutable bool warned_clamp_ = false;
+};
+
+/// The per-s sample-size table θ(s) = running max of SampleSizer::ThetaFor
+/// over s' ≤ s, lazily memoized. One schedule per advertiser (its memo and
+/// counters are per-ad state) over a SampleSizer that may be shared by
+/// every advertiser on the same RR store. Query order never changes the
+/// values: θ(s) is determined by the pilot alone.
+class ThetaSchedule {
+ public:
+  ThetaSchedule() = default;
+  explicit ThetaSchedule(std::shared_ptr<const SampleSizer> sizer);
+
+  /// θ for latent seed-set size `s`; non-decreasing in s. Out-of-range `s`
+  /// is clamped to [1, n] and counted in clamped_queries().
+  uint64_t ThetaFor(uint64_t s);
+
+  /// Queries whose scheduled θ saturated at theta_cap.
+  uint64_t cap_hits() const { return cap_hits_; }
+
+  /// Queries with s outside [1, n].
+  uint64_t clamped_queries() const { return clamped_queries_; }
+
+  /// Largest s the memo table has been extended to.
+  uint64_t max_s_evaluated() const { return memo_.size(); }
+
+  const SampleSizer& sizer() const { return *sizer_; }
+
+ private:
+  std::shared_ptr<const SampleSizer> sizer_;
+  std::vector<uint64_t> memo_;  // memo_[s-1] = max_{s' <= s} ThetaFor(s')
+  uint64_t cap_hits_ = 0;
+  uint64_t clamped_queries_ = 0;
 };
 
 }  // namespace isa::rrset

@@ -307,23 +307,153 @@ TEST(SampleSizerTest, ThetaShrinksWithLargerEpsilon) {
   EXPECT_GT(a.ThetaFor(1), b.ThetaFor(1));
 }
 
-TEST(SampleSizerTest, OptLowerBoundAtLeastS) {
+TEST(SampleSizerTest, OptLowerBoundConstantInSAndAtLeastOne) {
   auto g = test::MakeDiamond();
   std::vector<double> probs(g.num_edges(), 0.5);
   SampleSizerOptions opt;
   SampleSizer sizer(g, probs, opt);
-  EXPECT_GE(sizer.OptLowerBound(1), 1.0);
-  EXPECT_GE(sizer.OptLowerBound(3), 3.0);
+  // Eq. 8's denominator is the pilot scalar max(1, KPT): one value for the
+  // whole schedule, never re-evaluated per s (see sample_sizer.h).
+  EXPECT_GE(sizer.OptLowerBound(), 1.0);
+  EXPECT_GE(sizer.OptLowerBound(), sizer.kpt());
+  SampleSizerOptions no_pilot = opt;
+  no_pilot.run_kpt_pilot = false;
+  SampleSizer bare(g, probs, no_pilot);
+  EXPECT_DOUBLE_EQ(bare.OptLowerBound(), 1.0);
+  EXPECT_DOUBLE_EQ(bare.kpt(), 0.0);
 }
 
-TEST(SampleSizerTest, ThetaCapRespected) {
+TEST(SampleSizerTest, ThetaCapRespectedAndCapHitsObservable) {
   auto g = test::MakeDiamond();
   std::vector<double> probs(g.num_edges(), 0.5);
   SampleSizerOptions opt;
   opt.epsilon = 0.01;
   opt.theta_cap = 1000;
   SampleSizer sizer(g, probs, opt);
+  EXPECT_EQ(sizer.theta_cap_hits(), 0u);
   EXPECT_LE(sizer.ThetaFor(2), 1000u);
+  // ε = 0.01 on a 4-node graph wants far more than 1000 sets, so the cap
+  // must have saturated — and saturation is counted, not silent.
+  EXPECT_EQ(sizer.ThetaFor(2), 1000u);
+  EXPECT_EQ(sizer.theta_cap_hits(), 2u);
+}
+
+TEST(SampleSizerTest, OutOfRangeSClampedAndCounted) {
+  auto g = test::MakeDiamond();
+  std::vector<double> probs(g.num_edges(), 0.5);
+  SampleSizerOptions opt;
+  SampleSizer sizer(g, probs, opt);
+  const uint64_t n = g.num_nodes();
+  EXPECT_EQ(sizer.clamped_s_queries(), 0u);
+  // s = 0 clamps to 1, s > n clamps to n; both are counted.
+  EXPECT_EQ(sizer.ThetaFor(0), sizer.ThetaFor(1));
+  EXPECT_EQ(sizer.ThetaFor(n + 7), sizer.ThetaFor(n));
+  EXPECT_EQ(sizer.clamped_s_queries(), 2u);
+  // In-range queries never bump the counter.
+  (void)sizer.ThetaFor(2);
+  EXPECT_EQ(sizer.clamped_s_queries(), 2u);
+}
+
+TEST(SampleSizerTest, EdgeCaseSingleNodeAndNoEdges) {
+  // n = 1 (no pilot possible): θ must stay a positive, capped count.
+  auto g1 = test::MustGraph(1, {});
+  SampleSizerOptions opt;
+  SampleSizer s1(g1, {}, opt);
+  EXPECT_EQ(s1.pilot_sets(), 0u);
+  EXPECT_FALSE(s1.pilot_converged());
+  EXPECT_GE(s1.ThetaFor(1), 1u);
+  EXPECT_LE(s1.ThetaFor(1), opt.theta_cap);
+
+  // m = 0 with several nodes: pilot skipped, Eq. 8 still well-defined.
+  auto g0 = test::MustGraph(5, {});
+  SampleSizer s0(g0, {}, opt);
+  EXPECT_EQ(s0.pilot_sets(), 0u);
+  EXPECT_DOUBLE_EQ(s0.OptLowerBound(), 1.0);
+  EXPECT_GE(s0.ThetaFor(3), 1u);
+  EXPECT_LE(s0.ThetaFor(3), opt.theta_cap);
+}
+
+TEST(SampleSizerTest, PilotNonConvergenceIsObservable) {
+  // Path graph with near-zero probabilities: mean RR width stays ~1, so
+  // κ ≈ 1/m never crosses the 1/2^i threshold within the round budget —
+  // the doubling loop must fall off the end and report non-convergence
+  // (regression: this used to be silent).
+  // n = 100 runs min(8, log2 100) = 6 doubling rounds, so the loosest
+  // threshold is 1/64 ≈ 0.0156 while mean κ ≈ 1.001/99 ≈ 0.0101 — below
+  // every round's bar by a wide margin.
+  auto g = test::MustGraph(100, [] {
+    std::vector<graph::Edge> es;
+    for (graph::NodeId u = 0; u < 99; ++u) es.push_back({u, u + 1});
+    return es;
+  }());
+  std::vector<double> probs(g.num_edges(), 0.001);
+  SampleSizerOptions opt;
+  SampleSizer sizer(g, probs, opt);
+  EXPECT_GT(sizer.pilot_sets(), 0u);
+  EXPECT_FALSE(sizer.pilot_converged());
+  // The last-round estimate is still retained as a (weak) lower bound.
+  EXPECT_GT(sizer.kpt(), 0.0);
+
+  // Contrast: a high-influence fixture converges within the budget.
+  std::vector<double> hot(g.num_edges(), 0.9);
+  SampleSizer converged(g, hot, opt);
+  EXPECT_TRUE(converged.pilot_converged());
+}
+
+TEST(ThetaScheduleTest, MonotoneAndMatchesRunningMax) {
+  auto g = test::MustGraph(60, [] {
+    std::vector<graph::Edge> es;
+    for (graph::NodeId u = 0; u < 59; ++u) es.push_back({u, u + 1});
+    return es;
+  }());
+  std::vector<double> probs(g.num_edges(), 0.2);
+  SampleSizerOptions opt;
+  opt.epsilon = 0.3;
+  auto sizer = std::make_shared<const SampleSizer>(g, probs, opt);
+  ThetaSchedule schedule(sizer);
+  uint64_t prev = 0;
+  uint64_t running_max = 0;
+  for (uint64_t s = 1; s <= g.num_nodes(); ++s) {
+    const uint64_t theta = schedule.ThetaFor(s);
+    running_max = std::max(running_max, sizer->ThetaFor(s));
+    EXPECT_GE(theta, prev) << "schedule must be non-decreasing at s=" << s;
+    EXPECT_EQ(theta, running_max) << "s=" << s;
+    prev = theta;
+  }
+}
+
+TEST(ThetaScheduleTest, QueryOrderNeverChangesValuesAndClampsCounted) {
+  auto g = test::MustGraph(30, [] {
+    std::vector<graph::Edge> es;
+    for (graph::NodeId u = 0; u < 29; ++u) es.push_back({u, u + 1});
+    return es;
+  }());
+  std::vector<double> probs(g.num_edges(), 0.2);
+  SampleSizerOptions opt;
+  opt.epsilon = 0.3;
+  auto sizer = std::make_shared<const SampleSizer>(g, probs, opt);
+  ThetaSchedule forward(sizer), backward(sizer);
+  std::vector<uint64_t> fwd, bwd;
+  for (uint64_t s = 1; s <= 20; ++s) fwd.push_back(forward.ThetaFor(s));
+  for (uint64_t s = 20; s >= 1; --s) bwd.push_back(backward.ThetaFor(s));
+  std::reverse(bwd.begin(), bwd.end());
+  EXPECT_EQ(fwd, bwd);
+  // Out-of-range queries clamp (s̃ past n is meaningless) and are counted.
+  EXPECT_EQ(forward.clamped_queries(), 0u);
+  EXPECT_EQ(forward.ThetaFor(10'000), forward.ThetaFor(g.num_nodes()));
+  EXPECT_EQ(forward.clamped_queries(), 1u);
+}
+
+TEST(ThetaScheduleTest, CapSaturationCounted) {
+  auto g = test::MakeDiamond();
+  std::vector<double> probs(g.num_edges(), 0.5);
+  SampleSizerOptions opt;
+  opt.epsilon = 0.05;
+  opt.theta_cap = 500;
+  auto sizer = std::make_shared<const SampleSizer>(g, probs, opt);
+  ThetaSchedule schedule(sizer);
+  EXPECT_EQ(schedule.ThetaFor(2), 500u);
+  EXPECT_EQ(schedule.cap_hits(), 1u);
 }
 
 TEST(SampleSizerTest, PilotRunsWhenEnabled) {

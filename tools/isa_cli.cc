@@ -49,7 +49,8 @@ constexpr const char* kUsage = R"(isa_cli — incentivized social advertising ca
   --async-growth        overlap sample growth with selection rounds
                         (deterministic barrier; see TiOptions)
   --growth-delay R      rounds between an async growth trigger and
-                        its adoption barrier               [2]
+                        its adoption barrier (requires
+                        --async-growth; must be >= 1)      [2]
   --seed S              master RNG seed (results are identical
                         at any --threads for a fixed seed)  [42]
   --seeds-csv PATH      write the chosen (ad, seed, incentive) rows as CSV
@@ -78,6 +79,35 @@ int main(int argc, char** argv) {
   if (flags.Has("help")) {
     std::fputs(kUsage, stdout);
     return 0;
+  }
+
+  // ---- Growth-scheduling flag validation (before any expensive work).
+  // The engine itself treats growth-delay < 1 as 1 and silently ignores a
+  // delay without async mode; at the CLI boundary both are user error —
+  // reject them loudly instead of running a schedule the user didn't ask
+  // for.
+  const bool async_growth =
+      flags.GetBool("async-growth", false).value_or(false);
+  if (flags.Has("growth-delay")) {
+    if (!async_growth) {
+      return Fail(isa::Status::InvalidArgument(
+          "--growth-delay only applies to async growth; add --async-growth "
+          "or drop --growth-delay"));
+    }
+    const int64_t delay = flags.GetInt("growth-delay", 2).value_or(2);
+    if (delay < 1) {
+      return Fail(isa::Status::InvalidArgument(
+          "--growth-delay must be >= 1 round (a growth triggered in round "
+          "r adopts at round r + delay; 0 would adopt before sampling "
+          "finishes deterministically)"));
+    }
+  }
+  if (async_growth &&
+      flags.GetBool("share-samples", false).value_or(false)) {
+    std::fprintf(stderr,
+                 "note: --share-samples makes shared-store ads grow "
+                 "synchronously; --async-growth only overlaps ads with "
+                 "private stores\n");
   }
 
   const uint64_t seed =
@@ -193,7 +223,8 @@ int main(int argc, char** argv) {
 
   // ---- Report. ----
   isa::TableWriter table({"ad", "seeds", "revenue", "incentives", "payment",
-                          "budget", "theta", "RR memory"});
+                          "budget", "theta", "growth", "cap hits", "pilot",
+                          "RR memory"});
   for (uint32_t j = 0; j < h; ++j) {
     const auto& st = result.ad_stats[j];
     table.AddCell(uint64_t{j});
@@ -203,16 +234,23 @@ int main(int argc, char** argv) {
     table.AddCell(st.payment, 2);
     table.AddCell(instance.budget(j), 2);
     table.AddCell(st.theta);
+    table.AddCell(st.sample_growth_events);
+    table.AddCell(st.theta_cap_hits);
+    table.AddCell(std::string(st.pilot_converged ? "ok" : "weak"));
     table.AddCell(isa::HumanBytes(st.rr_memory_bytes));
     if (auto s = table.EndRow(); !s.ok()) return Fail(s);
   }
   table.Print(std::cout);
   std::printf("%s: total revenue %.2f, seeding cost %.2f, %llu seeds, "
-              "%.2fs, RR memory %s\n",
+              "%.2fs, RR memory %s; θ-growth: %llu adoptions "
+              "(%u ads engaged, %u idle, %llu cap hits)\n",
               algo.c_str(), result.total_revenue, result.total_seeding_cost,
               (unsigned long long)result.total_seeds,
               result.elapsed_seconds,
-              isa::HumanBytes(result.total_rr_memory_bytes).c_str());
+              isa::HumanBytes(result.total_rr_memory_bytes).c_str(),
+              (unsigned long long)result.total_growth_events,
+              result.ads_growth_engaged, result.ads_growth_idle,
+              (unsigned long long)result.total_theta_cap_hits);
 
   const std::string csv =
       flags.GetString("seeds-csv", "").value_or("");
