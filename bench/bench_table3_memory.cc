@@ -10,12 +10,42 @@
 // layout would have used for the same postings (TiResult's
 // total_rr_index_bytes / total_rr_index_legacy_bytes) — the before/after
 // evidence for the index compaction.
+//
+// Budget sweep (out-of-core spill tier): the bench then re-runs TI-CSRM on
+// the DBLP* fixture with TiOptions::rr_memory_budget_bytes at 50% and 25%
+// of the unbudgeted per-store footprint (and the 50% run additionally at 1
+// thread). Every budgeted run must reproduce the unbudgeted allocation,
+// revenue and θ bit for bit — spilling moves bytes, never results — and
+// the bench EXITS NON-ZERO on any mismatch (CI runs it as a gate, like the
+// fig5 determinism gate). The resident-vs-spill rows land in
+// BENCH_table3.json under "budget_rows".
 
 #include <cstdio>
 #include <iostream>
 
 #include "bench/bench_util.h"
 #include "common/table_writer.h"
+
+namespace {
+
+// The computed outcome only — memory/spill stats legitimately differ
+// across budgets.
+bool SameComputedResult(const isa::core::TiResult& a,
+                        const isa::core::TiResult& b) {
+  return a.allocation.seed_sets == b.allocation.seed_sets &&
+         a.total_revenue == b.total_revenue &&
+         a.total_seeding_cost == b.total_seeding_cost &&
+         a.total_seeds == b.total_seeds && a.total_theta == b.total_theta &&
+         a.total_growth_events == b.total_growth_events;
+}
+
+uint64_t SumResidentPeak(const isa::core::TiResult& r) {
+  uint64_t sum = 0;
+  for (const auto& st : r.ad_stats) sum += st.rr_resident_peak_bytes;
+  return sum;
+}
+
+}  // namespace
 
 int main() {
   const double scale = isa::bench::EffectiveScale(0.12);
@@ -106,12 +136,107 @@ int main() {
   }
   table.Print(std::cout);
 
-  isa::bench::WriteBenchJson("BENCH_table3.json",
-                             isa::bench::JsonObject()
-                                 .Add("bench", "table3_memory")
-                                 .Add("scale", scale)
-                                 .AddRaw("rows",
-                                         isa::bench::JsonArray(json_rows))
-                                 .str());
+  // ---- Budget sweep: the out-of-core spill tier at paper-scale θ. ----
+  std::printf("\n=== Budget sweep: TI-CSRM resident vs spill (DBLP*, h=5) "
+              "===\n\n");
+  bool budget_mismatch = false;
+  std::vector<std::string> budget_rows;
+  {
+    auto ds = isa::bench::MustValue(
+        isa::eval::BuildDataset(isa::eval::DatasetId::kDblp, scale, 2017),
+        "BuildDataset");
+    isa::eval::WorkloadOptions opt;
+    opt.num_advertisers = 5;
+    opt.budget_min = opt.budget_max = 1'500 * scale;
+    opt.cpe_min = opt.cpe_max = 1.0;
+    opt.incentive_model = isa::core::IncentiveModel::kLinear;
+    opt.alpha = 0.2;
+    opt.spread_source = isa::eval::SpreadSource::kOutDegreeProxy;
+    auto setup = isa::bench::MustValue(
+        isa::eval::BuildExperiment(std::move(ds), opt), "BuildExperiment");
+
+    auto ti = isa::bench::QualityTiOptions();
+    ti.theta_cap = 80'000;
+    ti.window = 5000;
+    auto reference = isa::core::RunTiCsrm(*setup.instance, ti);
+    isa::bench::Check(reference.status(), "TI-CSRM unbudgeted");
+    // Per-store budget base: the largest charged per-ad footprint (the
+    // store is charged to the first ad using it, so this is ~the biggest
+    // store plus one view).
+    uint64_t store_bytes = 0;
+    for (const auto& st : reference.value().ad_stats) {
+      store_bytes = std::max(store_bytes, st.rr_memory_bytes);
+    }
+
+    isa::TableWriter sweep({"budget/store", "threads", "resident final",
+                            "resident peak", "spilled", "chunks", "scans",
+                            "match"});
+    auto add_row = [&](uint64_t budget, uint32_t threads,
+                       const isa::core::TiResult& r, bool match) {
+      sweep.AddCell(budget == 0 ? std::string("unbudgeted")
+                                : isa::HumanBytes(budget));
+      sweep.AddCell(uint64_t{threads});
+      sweep.AddCell(isa::HumanBytes(r.total_rr_memory_bytes));
+      sweep.AddCell(budget == 0 ? std::string("-")
+                                : isa::HumanBytes(SumResidentPeak(r)));
+      sweep.AddCell(isa::HumanBytes(r.total_spilled_bytes));
+      sweep.AddCell(r.total_spill_chunks);
+      sweep.AddCell(r.total_scan_reloads);
+      sweep.AddCell(std::string(match ? "yes" : "MISMATCH"));
+      isa::bench::Check(sweep.EndRow(), "sweep row");
+      budget_rows.push_back(
+          isa::bench::JsonObject()
+              .Add("budget_bytes", budget)
+              .Add("threads", uint64_t{threads})
+              .Add("resident_final_bytes", r.total_rr_memory_bytes)
+              .Add("resident_peak_bytes", SumResidentPeak(r))
+              .Add("spilled_bytes", r.total_spilled_bytes)
+              .Add("spill_chunks", r.total_spill_chunks)
+              .Add("scan_reloads", r.total_scan_reloads)
+              .Add("seeds", r.total_seeds)
+              .Add("matches_unbudgeted", match)
+              .str());
+    };
+    add_row(0, ti.num_threads, reference.value(), true);
+
+    struct Run {
+      double fraction;
+      uint32_t threads;
+    };
+    // The tight 25% budget doubles as the CI gate's "tight budget" row;
+    // the 1-thread run re-proves budget determinism is thread-independent.
+    for (const Run run : {Run{0.5, 0}, Run{0.5, 1}, Run{0.25, 0}}) {
+      auto budgeted_ti = ti;
+      budgeted_ti.rr_memory_budget_bytes =
+          static_cast<uint64_t>(store_bytes * run.fraction);
+      budgeted_ti.num_threads = run.threads;
+      auto budgeted = isa::core::RunTiCsrm(*setup.instance, budgeted_ti);
+      isa::bench::Check(budgeted.status(), "TI-CSRM budgeted");
+      const bool match =
+          SameComputedResult(reference.value(), budgeted.value());
+      if (!match) budget_mismatch = true;
+      add_row(budgeted_ti.rr_memory_budget_bytes, run.threads,
+              budgeted.value(), match);
+      std::fprintf(stderr, "  [budget %.0f%% threads=%u] done\n",
+                   run.fraction * 100, run.threads);
+    }
+    sweep.Print(std::cout);
+  }
+
+  isa::bench::WriteBenchJson(
+      "BENCH_table3.json",
+      isa::bench::JsonObject()
+          .Add("bench", "table3_memory")
+          .Add("scale", scale)
+          .Add("budget_determinism_ok", !budget_mismatch)
+          .AddRaw("rows", isa::bench::JsonArray(json_rows))
+          .AddRaw("budget_rows", isa::bench::JsonArray(budget_rows))
+          .str());
+  if (budget_mismatch) {
+    std::fprintf(stderr,
+                 "[bench] FAIL: budgeted TI-CSRM diverged from the "
+                 "unbudgeted run — spilling must never change results\n");
+    return 2;
+  }
   return 0;
 }

@@ -7,7 +7,11 @@
 namespace isa {
 
 std::string MemoryMeter::ToString() const {
-  return HumanBytes(current_) + " / " + HumanBytes(peak_) + " peak";
+  std::string out = HumanBytes(current_) + " / " + HumanBytes(peak_) + " peak";
+  if (spilled_peak_ > 0) {
+    out += " (+ " + HumanBytes(spilled_) + " spilled)";
+  }
+  return out;
 }
 
 uint64_t ProcessResidentBytes() {

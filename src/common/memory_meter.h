@@ -9,10 +9,15 @@
 
 namespace isa {
 
-/// Tracks bytes attributed to one subsystem. Components that own large
-/// buffers (RR-set collections, per-ad probability views) report their
+/// Tracks bytes attributed to one subsystem, split into a RESIDENT tier
+/// (heap the process actually holds — what an RSS probe would see) and a
+/// SPILLED tier (bytes evicted to disk by an out-of-core store, e.g.
+/// rrset::TieredRrStore). Components that own large buffers report their
 /// allocations here so experiments can print peak/current footprints
-/// without depending on OS-level RSS probes.
+/// without depending on OS-level RSS probes. Only the resident tier feeds
+/// the peak: spilled bytes are exactly the bytes a memory budget pushed
+/// OUT of the working set, and folding them back in would make every
+/// spill look like a leak.
 class MemoryMeter {
  public:
   void Add(uint64_t bytes) {
@@ -24,22 +29,34 @@ class MemoryMeter {
     current_ = bytes > current_ ? 0 : current_ - bytes;
   }
 
-  /// Replaces the current attribution with an absolute figure. Useful when a
-  /// component can recompute its exact footprint cheaply.
+  /// Replaces the current resident attribution with an absolute figure.
+  /// Useful when a component can recompute its exact footprint cheaply.
   void Set(uint64_t bytes) {
     current_ = bytes;
     if (current_ > peak_) peak_ = current_;
   }
 
+  /// Replaces the spilled (non-resident) attribution. Does not touch the
+  /// resident figures or their peak.
+  void SetSpilled(uint64_t bytes) {
+    spilled_ = bytes;
+    if (spilled_ > spilled_peak_) spilled_peak_ = spilled_;
+  }
+
   uint64_t current_bytes() const { return current_; }
   uint64_t peak_bytes() const { return peak_; }
+  uint64_t spilled_bytes() const { return spilled_; }
+  uint64_t spilled_peak_bytes() const { return spilled_peak_; }
 
-  /// "current / peak" rendered with HumanBytes.
+  /// "current / peak" rendered with HumanBytes, plus "+ N spilled" when a
+  /// cold tier is in play.
   std::string ToString() const;
 
  private:
   uint64_t current_ = 0;
   uint64_t peak_ = 0;
+  uint64_t spilled_ = 0;
+  uint64_t spilled_peak_ = 0;
 };
 
 /// Best-effort resident-set size of the process in bytes (Linux /proc),

@@ -260,11 +260,13 @@ void AdvertiserEngine::MarkNodeTaken(graph::NodeId v) {
 void AdvertiserEngine::CommitSeed(graph::NodeId v) {
   seeds_.push_back(v);
   seeding_cost_ += instance_.incentive(ad_, v);
+  // The shared pool parallelizes cold-chunk scans when this ad's store
+  // has spilled sets (no-op on resident-only stores).
   if (windowed()) {
-    collection_.RemoveCoveredBy(v, &touched_scratch_);
+    collection_.RemoveCoveredBy(v, &touched_scratch_, options_.sampler.pool);
     for (graph::NodeId u : touched_scratch_) MarkWindowDirty(u);
   } else {
-    collection_.RemoveCoveredBy(v);
+    collection_.RemoveCoveredBy(v, nullptr, options_.sampler.pool);
   }
   revenue_ = instance_.cpe(ad_) * dn_ * collection_.covered_fraction();
   payment_ = revenue_ + seeding_cost_;

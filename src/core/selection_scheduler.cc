@@ -6,8 +6,13 @@ namespace isa::core {
 
 SelectionScheduler::SelectionScheduler(
     const RmInstance& instance, const TiOptions& options, ThreadPool& pool,
-    std::span<const std::unique_ptr<AdvertiserEngine>> ads)
-    : instance_(instance), options_(options), pool_(pool), ads_(ads) {}
+    std::span<const std::unique_ptr<AdvertiserEngine>> ads,
+    std::span<StoreSpillGroup> spill_groups)
+    : instance_(instance),
+      options_(options),
+      pool_(pool),
+      ads_(ads),
+      spill_groups_(spill_groups) {}
 
 double SelectionScheduler::BudgetOf(uint32_t j) const {
   return options_.budget_override.empty() ? instance_.budget(j)
@@ -65,6 +70,19 @@ void SelectionScheduler::ScheduleGrowth(uint32_t j, uint64_t round) {
   }
 }
 
+void SelectionScheduler::MaybeSpillStores() {
+  for (StoreSpillGroup& g : spill_groups_) {
+    // Only ids every view of the store has adopted may go cold: adoption
+    // reads members, coverage removal over cold sets goes through the
+    // chunk-scan path instead.
+    uint64_t min_theta = UINT64_MAX;
+    for (uint32_t j : g.ads) {
+      min_theta = std::min(min_theta, ads_[j]->theta());
+    }
+    g.tier->MaybeSpill(min_theta, &pool_);
+  }
+}
+
 void SelectionScheduler::AdoptDueGrowths(uint64_t round, bool adopt_all) {
   for (uint32_t j = 0; j < num_ads(); ++j) {
     AdvertiserEngine& ad = *ads_[j];
@@ -85,6 +103,7 @@ void SelectionScheduler::Run(Allocation* allocation) {
     if (options_.max_seeds != 0 && total_seeds_ >= options_.max_seeds) break;
 
     AdoptDueGrowths(round, /*adopt_all=*/false);
+    MaybeSpillStores();
 
     for (uint32_t j = 0; j < h; ++j) {
       ads_[j]->EnsureFeasibleCandidate(BudgetOf(j));
@@ -122,6 +141,8 @@ void SelectionScheduler::Run(Allocation* allocation) {
   while (AnyGrowthPending()) {
     AdoptDueGrowths(round, /*adopt_all=*/true);
   }
+  // Final barrier: the drain may have grown stores past the budget.
+  MaybeSpillStores();
 }
 
 }  // namespace isa::core

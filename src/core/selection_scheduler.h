@@ -29,6 +29,14 @@
 // change relative to synchronous growth, not a race. Only advertisers with
 // a private RR store overlap; ads sharing a store (share_samples) grow
 // synchronously so store appends stay ordered.
+//
+// Spill barrier rule (TiOptions::rr_memory_budget_bytes): the stage-1
+// barrier is also where the out-of-core tier makes its eviction decisions
+// — after due growths have adopted, each store's TieredRrStore may spill
+// its oldest fully-adopted sets (ids below min θ_j over the store's
+// views). The decision inputs (resident bytes, view thetas) are
+// bit-identical at any thread count, and spilling never changes a
+// computed value, so the determinism invariant extends to any budget.
 
 #ifndef ISA_CORE_SELECTION_SCHEDULER_H_
 #define ISA_CORE_SELECTION_SCHEDULER_H_
@@ -42,16 +50,27 @@
 #include "core/advertiser_engine.h"
 #include "core/problem.h"
 #include "core/ti_greedy.h"
+#include "rrset/tiered_store.h"
 
 namespace isa::core {
 
+/// One out-of-core tier and the advertisers viewing its store — the unit
+/// the spill barrier iterates. Built by RunTiGreedy (one per physical
+/// store when rr_memory_budget_bytes > 0).
+struct StoreSpillGroup {
+  std::unique_ptr<rrset::TieredRrStore> tier;
+  std::vector<uint32_t> ads;
+};
+
 class SelectionScheduler {
  public:
-  /// `ads` must hold one initialized engine per advertiser; `options` and
-  /// `pool` must outlive the scheduler.
+  /// `ads` must hold one initialized engine per advertiser; `options`,
+  /// `pool` and `spill_groups` must outlive the scheduler. Pass an empty
+  /// `spill_groups` span to run fully resident (unbudgeted).
   SelectionScheduler(const RmInstance& instance, const TiOptions& options,
                      ThreadPool& pool,
-                     std::span<const std::unique_ptr<AdvertiserEngine>> ads);
+                     std::span<const std::unique_ptr<AdvertiserEngine>> ads,
+                     std::span<StoreSpillGroup> spill_groups = {});
 
   /// Runs the round loop to completion (every advertiser exhausted or the
   /// max_seeds cap hit). Seeds are appended to allocation->seed_sets,
@@ -73,6 +92,10 @@ class SelectionScheduler {
   /// when `adopt_all`), in ascending advertiser order, then run the
   /// deferred Eq. 10 revision for each adopter.
   void AdoptDueGrowths(uint64_t round, bool adopt_all);
+  /// Stage 1b (the spill barrier): let every budgeted store evict its
+  /// oldest fully-adopted sets. Runs in group order; decisions depend
+  /// only on deterministic state (see file comment).
+  void MaybeSpillStores();
   /// Stage 4 for the round's winner.
   void ScheduleGrowth(uint32_t j, uint64_t round);
 
@@ -80,6 +103,7 @@ class SelectionScheduler {
   const TiOptions& options_;
   ThreadPool& pool_;
   std::span<const std::unique_ptr<AdvertiserEngine>> ads_;
+  std::span<StoreSpillGroup> spill_groups_;
   uint32_t round_robin_next_ = 0;
   uint64_t total_seeds_ = 0;
 };

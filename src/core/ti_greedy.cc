@@ -12,6 +12,7 @@
 #include "core/advertiser_engine.h"
 #include "core/selection_scheduler.h"
 #include "rrset/rr_collection.h"
+#include "rrset/spill_file.h"
 
 namespace isa::core {
 
@@ -103,6 +104,9 @@ Result<TiResult> RunTiGreedy(const RmInstance& instance,
   TiResult result;
   result.allocation.seed_sets.assign(h, {});
   std::vector<std::unique_ptr<AdvertiserEngine>> ads(h);
+  // Declared before the try block so the tiers (and their barrier meters)
+  // survive into result assembly.
+  std::vector<StoreSpillGroup> spill_groups;
   std::vector<Status> init_status(h);
   try {
     // KPT pilot + initial θ_j sample + PageRank/heap build per advertiser,
@@ -154,8 +158,29 @@ Result<TiResult> RunTiGreedy(const RmInstance& instance,
       if (!init_status[j].ok()) return init_status[j];
     }
 
+    // ---- Out-of-core tier: one TieredRrStore per physical store. ----
+    // Built after init (private stores are created inside the engines) and
+    // given a first barrier right away: the initial θ(1) samples can
+    // already exceed the budget, and everything adopted so far is
+    // evictable.
+    if (options.rr_memory_budget_bytes > 0) {
+      for (const std::vector<uint32_t>& group : groups) {
+        rrset::TieredStoreOptions to;
+        to.rr_memory_budget_bytes = options.rr_memory_budget_bytes;
+        to.spill_directory = options.spill_directory;
+        StoreSpillGroup g;
+        g.tier = std::make_unique<rrset::TieredRrStore>(
+            ads[group.front()]->collection().store(), to);
+        g.ads = group;
+        uint64_t min_theta = UINT64_MAX;
+        for (uint32_t j : group) min_theta = std::min(min_theta, ads[j]->theta());
+        g.tier->MaybeSpill(min_theta, &pool);
+        spill_groups.push_back(std::move(g));
+      }
+    }
+
     // ---- Stages 1-4 per round: the selection scheduler (Alg. 2 l. 5-22).
-    SelectionScheduler scheduler(instance, options, pool, ads);
+    SelectionScheduler scheduler(instance, options, pool, ads, spill_groups);
     scheduler.Run(&result.allocation);
   } catch (const std::bad_alloc&) {
     // Marshaled through ThreadPool::Run / TaskGroup::Wait from a sampling
@@ -163,6 +188,11 @@ Result<TiResult> RunTiGreedy(const RmInstance& instance,
     // terminating the process.
     return Status::ResourceExhausted(
         "RunTiGreedy: out of memory in a sampling/adoption stage");
+  } catch (const rrset::SpillIoError& e) {
+    // Disk exhaustion in the cold tier is the same recoverable condition
+    // as heap exhaustion in the hot one (pool reads marshal through the
+    // same exception barrier).
+    return Status::ResourceExhausted(std::string("RunTiGreedy: ") + e.what());
   }
 
   // ---- Assemble result. ----
@@ -188,6 +218,15 @@ Result<TiResult> RunTiGreedy(const RmInstance& instance,
       st.rr_memory_bytes += store->MemoryBytes();
       st.rr_index_bytes = store->IndexBytes();
       st.rr_index_legacy_bytes = store->LegacyIndexBytes();
+      st.spilled_bytes = store->SpilledBytes();
+      st.spill_chunks = store->SpillChunks();
+      st.scan_reloads = store->scan_reloads();
+      for (const StoreSpillGroup& g : spill_groups) {
+        if (g.tier->store().get() == store) {
+          st.rr_resident_peak_bytes = g.tier->meter().peak_bytes();
+          break;
+        }
+      }
     }
     st.sample_growth_events = ad.growth_events();
     st.idle_growth_revisions = ad.idle_revisions();
@@ -203,6 +242,9 @@ Result<TiResult> RunTiGreedy(const RmInstance& instance,
     result.total_rr_memory_bytes += st.rr_memory_bytes;
     result.total_rr_index_bytes += st.rr_index_bytes;
     result.total_rr_index_legacy_bytes += st.rr_index_legacy_bytes;
+    result.total_spilled_bytes += st.spilled_bytes;
+    result.total_spill_chunks += st.spill_chunks;
+    result.total_scan_reloads += st.scan_reloads;
     result.total_growth_events += st.sample_growth_events;
     result.total_theta_cap_hits += st.theta_cap_hits;
     if (st.sample_growth_events > 0) {

@@ -41,6 +41,7 @@
 #define ISA_CORE_TI_GREEDY_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -128,6 +129,22 @@ struct TiOptions {
   /// (values < 1 behave as 1). Larger values overlap more sampling but let
   /// selection run longer on the smaller (noisier) sample.
   uint32_t growth_delay_rounds = 2;
+  /// Resident-byte target per physical RR store (0 = unbudgeted, fully
+  /// resident — the pre-spill behavior, byte for byte). When a store's
+  /// resident footprint exceeds the budget at a barrier round, its oldest
+  /// fully-adopted sets are evicted to an on-disk columnar chunk file and
+  /// later coverage removals over them run as sequential chunk scans (see
+  /// rrset/tiered_store.h). Spill decisions happen only at the round
+  /// loop's deterministic barriers and never change any computed value,
+  /// so a fixed seed still yields a bit-identical TiResult (allocations,
+  /// revenue, θ, growth counters) at ANY thread count and ANY budget —
+  /// only the memory/spill statistics differ. The budget is a target:
+  /// a hot (not yet fully adopted) tail larger than the budget stays
+  /// resident.
+  uint64_t rr_memory_budget_bytes = 0;
+  /// Directory for spill chunk files (empty = the system temp directory).
+  /// Files are removed when the run's stores are destroyed.
+  std::string spill_directory;
   /// Safety cap on total selected seeds (0 = unlimited).
   uint64_t max_seeds = 0;
   /// Nodes that may not be selected as seeds for any ad (e.g. users who
@@ -156,6 +173,16 @@ struct TiAdStats {
   /// same postings — the Table 3 before/after comparison.
   uint64_t rr_index_bytes = 0;
   uint64_t rr_index_legacy_bytes = 0;
+  /// Out-of-core tier (rr_memory_budget_bytes > 0; charged to the first
+  /// ad using the store, like rr_memory_bytes): bytes of the store
+  /// evicted to disk, chunks in its spill file, chunk reads served by
+  /// coverage-removal scans, and the store's peak RESIDENT bytes as
+  /// observed at the spill barrier checks (0 when unbudgeted — use
+  /// rr_memory_bytes, which is then also the final resident figure).
+  uint64_t spilled_bytes = 0;
+  uint64_t spill_chunks = 0;
+  uint64_t scan_reloads = 0;
+  uint64_t rr_resident_peak_bytes = 0;
   /// θ-schedule observability (see rrset/sample_sizer.h). Growth engaged =
   /// sample_growth_events > 0; idle Eq. 10 revisions mean the schedule was
   /// already satisfied (flat θ or cap saturation) when s̃ rose.
@@ -181,6 +208,10 @@ struct TiResult {
   uint64_t total_rr_memory_bytes = 0;
   uint64_t total_rr_index_bytes = 0;
   uint64_t total_rr_index_legacy_bytes = 0;
+  /// Out-of-core tier totals across stores (all 0 when unbudgeted).
+  uint64_t total_spilled_bytes = 0;
+  uint64_t total_spill_chunks = 0;
+  uint64_t total_scan_reloads = 0;
   /// Aggregate θ-growth observability: total adoptions, how many ads ever
   /// grew their sample past θ(1), and how many never did.
   uint64_t total_growth_events = 0;

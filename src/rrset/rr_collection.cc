@@ -1,7 +1,6 @@
 #include "rrset/rr_collection.h"
 
 #include <algorithm>
-#include <bit>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -11,229 +10,15 @@ namespace isa::rrset {
 
 namespace {
 
-// Below these posting counts the sharded paths cost more in transient
-// per-worker arrays and task hand-off than they save; the serial paths are
+// Below this posting count the sharded adoption costs more in transient
+// per-worker arrays and task hand-off than it saves; the serial path is
 // used (the results are bit-identical either way). Each extra worker also
 // zero-fills and merges an O(num_nodes) count array, so the effective
 // per-worker floor is max(threshold, num_nodes) — on sparse adoptions over
 // huge node sets the serial pass wins and is kept.
-constexpr uint64_t kMinPostingsPerIndexWorker = 1u << 14;
 constexpr uint64_t kMinPostingsPerAdoptWorker = 1u << 12;
 
 }  // namespace
-
-// ---------------------------------------------------------------- RrStore
-
-RrStore::RrStore(graph::NodeId num_nodes)
-    : num_nodes_(num_nodes),
-      rr_offsets_{0},
-      csr_offsets_(static_cast<size_t>(num_nodes) + 1, 0) {}
-
-void RrStore::Sample(RrSampler& sampler, uint64_t count, Rng& rng) {
-  // Sets stream straight into the flat arrays; the whole batch is then
-  // indexed as a unit (same policy as the parallel path's AppendBatch).
-  for (uint64_t i = 0; i < count; ++i) {
-    sampler.SampleInto(rng, &scratch_);
-    rr_nodes_.insert(rr_nodes_.end(), scratch_.begin(), scratch_.end());
-    rr_offsets_.push_back(rr_nodes_.size());
-  }
-  IndexTail(/*pool=*/nullptr);
-}
-
-void RrStore::ChainAppend(graph::NodeId v, uint32_t id) {
-  if (chain_head_.empty()) {
-    chain_head_.assign(num_nodes_, kNoBlock);
-    chain_tail_.assign(num_nodes_, kNoBlock);
-  }
-  uint32_t b = chain_tail_[v];
-  if (b == kNoBlock || blocks_[b].count == kPostingBlockCap) {
-    const uint32_t nb = static_cast<uint32_t>(blocks_.size());
-    blocks_.emplace_back();
-    if (b == kNoBlock) {
-      chain_head_[v] = nb;
-    } else {
-      blocks_[b].next = nb;
-    }
-    chain_tail_[v] = nb;
-    b = nb;
-  }
-  PostingBlock& blk = blocks_[b];
-  blk.ids[blk.count++] = id;
-}
-
-void RrStore::AppendBatch(std::span<const graph::NodeId> nodes,
-                          std::span<const uint32_t> sizes, ThreadPool* pool) {
-  if (sizes.empty()) return;
-  // No exact-size reserve here: it would pin capacity == size and force a
-  // full reallocation on every incremental growth batch; push_back's
-  // geometric growth amortizes across batches instead.
-  rr_nodes_.insert(rr_nodes_.end(), nodes.begin(), nodes.end());
-  uint64_t pos = rr_offsets_.back();
-  for (uint32_t size : sizes) {
-    pos += size;
-    rr_offsets_.push_back(pos);
-  }
-  IndexTail(pool);
-}
-
-void RrStore::IndexTail(ThreadPool* pool) {
-  const uint64_t tail_postings = rr_nodes_.size() - rr_offsets_[indexed_sets_];
-  if (tail_postings == 0) {
-    indexed_sets_ = num_sets();
-    return;
-  }
-  // Geometric compaction policy: once the postings outside the CSR base
-  // reach the base's size, transpose everything into a fresh base — O(P)
-  // per compaction at ~doubled P, so O(total postings) amortized. Small
-  // growth batches land in the O(1)-append chains in between.
-  if (chained_postings_ + tail_postings >= csr_sets_.size()) {
-    RebuildIndex(pool);
-    return;
-  }
-  for (uint64_t r = indexed_sets_; r < num_sets(); ++r) {
-    for (graph::NodeId v : SetMembers(r)) {
-      ChainAppend(v, static_cast<uint32_t>(r));
-    }
-  }
-  chained_postings_ += tail_postings;
-  indexed_sets_ = num_sets();
-}
-
-void RrStore::RebuildIndex(ThreadPool* pool) {
-  const uint64_t postings = rr_nodes_.size();
-  const uint64_t sets = num_sets();
-  uint32_t workers = 1;
-  if (pool != nullptr && sets > 1) {
-    workers = pool->WorkersFor(
-        postings,
-        std::max<uint64_t>(kMinPostingsPerIndexWorker, num_nodes_));
-    workers = static_cast<uint32_t>(std::min<uint64_t>(workers, sets));
-  }
-
-  std::vector<uint64_t> offsets(static_cast<size_t>(num_nodes_) + 1, 0);
-  std::vector<uint32_t> flat(postings);
-  if (workers <= 1) {
-    for (graph::NodeId v : rr_nodes_) ++offsets[v + 1];
-    for (graph::NodeId v = 0; v < num_nodes_; ++v) {
-      offsets[v + 1] += offsets[v];
-    }
-    std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
-    for (uint64_t r = 0; r < sets; ++r) {
-      for (graph::NodeId v : SetMembers(r)) {
-        flat[cursor[v]++] = static_cast<uint32_t>(r);
-      }
-    }
-  } else {
-    // Two-pass parallel counting sort, sharded by contiguous set ranges:
-    // per-worker histograms over the nodes, then a serial prefix pass that
-    // turns them into disjoint write cursors, then a parallel fill. Worker
-    // ranges ascend in set id and each worker scans its range in order, so
-    // every node's postings come out ascending — identical to the serial
-    // build.
-    const std::vector<uint64_t> bounds =
-        PostingBalancedRanges(0, sets, workers);
-    std::vector<std::vector<uint64_t>> hist(workers);
-    pool->Run(workers, [&](uint64_t w) {
-      auto& h = hist[w];
-      h.assign(num_nodes_, 0);
-      const uint64_t lo = rr_offsets_[bounds[w]];
-      const uint64_t hi = rr_offsets_[bounds[w + 1]];
-      for (uint64_t k = lo; k < hi; ++k) ++h[rr_nodes_[k]];
-    });
-    for (graph::NodeId v = 0; v < num_nodes_; ++v) {
-      uint64_t base = offsets[v];
-      for (uint32_t w = 0; w < workers; ++w) {
-        const uint64_t c = hist[w][v];
-        hist[w][v] = base;  // becomes worker w's write cursor for v
-        base += c;
-      }
-      offsets[v + 1] = base;
-    }
-    pool->Run(workers, [&](uint64_t w) {
-      auto& cursor = hist[w];
-      for (uint64_t r = bounds[w]; r < bounds[w + 1]; ++r) {
-        for (graph::NodeId v : SetMembers(r)) {
-          flat[cursor[v]++] = static_cast<uint32_t>(r);
-        }
-      }
-    });
-  }
-
-  csr_offsets_ = std::move(offsets);
-  csr_sets_ = std::move(flat);
-  blocks_.clear();
-  blocks_.shrink_to_fit();
-  chain_head_.clear();
-  chain_head_.shrink_to_fit();
-  chain_tail_.clear();
-  chain_tail_.shrink_to_fit();
-  chained_postings_ = 0;
-  indexed_sets_ = sets;
-}
-
-std::vector<uint64_t> RrStore::PostingBalancedRanges(uint64_t lo, uint64_t hi,
-                                                     uint32_t workers) const {
-  // rr_offsets_ is the cumulative posting count, so a binary search places
-  // each boundary at the set whose cumulative postings cross the target.
-  std::vector<uint64_t> bounds(workers + 1, hi);
-  bounds[0] = lo;
-  const uint64_t base = rr_offsets_[lo];
-  const uint64_t total = rr_offsets_[hi] - base;
-  for (uint32_t w = 1; w < workers; ++w) {
-    const uint64_t target = base + total / workers * w;
-    bounds[w] = static_cast<uint64_t>(
-        std::upper_bound(rr_offsets_.begin() + lo, rr_offsets_.begin() + hi,
-                         target) -
-        rr_offsets_.begin() - 1);
-    bounds[w] = std::clamp(bounds[w], bounds[w - 1], hi);
-  }
-  return bounds;
-}
-
-std::vector<uint32_t> RrStore::SetsContaining(graph::NodeId v) const {
-  std::vector<uint32_t> out;
-  ForEachSetContaining(v, [&](uint32_t r) {
-    out.push_back(r);
-    return true;
-  });
-  return out;
-}
-
-double RrStore::MeanSetSize() const {
-  if (num_sets() == 0) return 0.0;
-  return static_cast<double>(rr_nodes_.size()) /
-         static_cast<double>(num_sets());
-}
-
-uint64_t RrStore::MemoryBytes() const {
-  return rr_offsets_.capacity() * sizeof(uint64_t) +
-         rr_nodes_.capacity() * sizeof(graph::NodeId) + IndexBytes() +
-         scratch_.capacity() * sizeof(graph::NodeId);
-}
-
-uint64_t RrStore::IndexBytes() const {
-  return csr_offsets_.capacity() * sizeof(uint64_t) +
-         csr_sets_.capacity() * sizeof(uint32_t) +
-         blocks_.capacity() * sizeof(PostingBlock) +
-         (chain_head_.capacity() + chain_tail_.capacity()) * sizeof(uint32_t);
-}
-
-uint64_t RrStore::LegacyIndexBytes() const {
-  uint64_t bytes = 0;
-  for (graph::NodeId v = 0; v < num_nodes_; ++v) {
-    uint64_t count = csr_offsets_[v + 1] - csr_offsets_[v];
-    if (!chain_head_.empty()) {
-      for (uint32_t b = chain_head_[v]; b != kNoBlock; b = blocks_[b].next) {
-        count += blocks_[b].count;
-      }
-    }
-    // push_back from empty doubles capacity: 1, 2, 4, ... = bit_ceil(count).
-    if (count > 0) bytes += std::bit_ceil(count) * sizeof(uint32_t);
-  }
-  return bytes;
-}
-
-// ------------------------------------------------------------ RrCollection
 
 RrCollection::RrCollection(graph::NodeId num_nodes)
     : store_(std::make_shared<RrStore>(num_nodes)),
@@ -279,6 +64,10 @@ void RrCollection::AdoptUpTo(uint64_t new_theta,
   // input — catch it at the boundary instead of underflowing below.
   ISA_CHECK(new_theta >= theta_);
   ISA_CHECK(new_theta <= store_->num_sets());
+  // Adoption reads members, so the range must still be resident. The spill
+  // policy only evicts ids below every view's θ, which makes this a
+  // scheduler-bug detector, not a reachable state.
+  ISA_CHECK(theta_ >= store_->first_resident_set());
   if (touched != nullptr) touched->clear();
   const uint64_t first_new = theta_;
   alive_.resize(new_theta, 1);
@@ -422,25 +211,44 @@ std::vector<graph::NodeId> RrCollection::TopCoverage(
 }
 
 uint32_t RrCollection::RemoveCoveredBy(graph::NodeId v,
-                                       std::vector<graph::NodeId>* touched) {
+                                       std::vector<graph::NodeId>* touched,
+                                       ThreadPool* pool) {
   if (touched != nullptr) {
     touched->clear();
     if (touch_mark_.empty()) touch_mark_.assign(store_->num_nodes(), 0);
   }
   uint32_t removed = 0;
-  store_->ForEachSetContaining(v, [&](uint32_t r) {
-    if (r >= theta_) return false;  // ids ascend; rest is beyond the prefix
-    if (!alive_[r]) return true;
+  auto cover_set = [&](uint64_t r, std::span<const graph::NodeId> members) {
     alive_[r] = 0;
     ++covered_count_;
     ++removed;
-    for (graph::NodeId w : store_->SetMembers(r)) {
+    for (graph::NodeId w : members) {
       --coverage_[w];
       if (touched != nullptr && !touch_mark_[w]) {
         touch_mark_[w] = 1;
         touched->push_back(w);
       }
     }
+  };
+  // Cold tier first (ascending set id; coverage updates are sums, so the
+  // split changes nothing observable vs a resident-only store). Spilled
+  // ids are always below the adopted prefix, so no theta_ guard is needed
+  // beyond the scan's max_id. The alive filter goes in as the scan's
+  // candidate predicate: old spilled sets are mostly covered already, and
+  // filtering before the membership scan keeps the scan from copying (or
+  // even reading) their members.
+  if (store_->first_resident_set() > 0) {
+    store_->ForEachSpilledSetContaining(
+        v, std::min(theta_, store_->first_resident_set()), pool,
+        [&](uint64_t r) { return alive_[r] != 0; },
+        [&](uint64_t r, std::span<const graph::NodeId> members) {
+          cover_set(r, members);
+        });
+  }
+  store_->ForEachSetContaining(v, [&](uint32_t r) {
+    if (r >= theta_) return false;  // ids ascend; rest is beyond the prefix
+    if (!alive_[r]) return true;
+    cover_set(r, store_->SetMembers(r));
     return true;
   });
   if (touched != nullptr) {

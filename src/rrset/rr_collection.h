@@ -1,9 +1,9 @@
-// RR-set storage and the per-advertiser coverage state Algorithm 2 needs.
+// RrCollection — the per-advertiser coverage state Algorithm 2 needs,
+// layered over the (possibly two-tier) RrStore:
 //
-// Split into two layers:
-//
-//   RrStore       — immutable-once-appended flat storage of RR sets plus the
-//                   node -> set-ids inverted index. Sets are only appended.
+//   RrStore       — immutable-once-appended flat storage of RR sets plus
+//                   the node -> set-ids inverted index, with an optional
+//                   spilled cold tier (see rr_store.h).
 //   RrCollection  — one advertiser's *view* of a store: which prefix of the
 //                   sample it has adopted (θ_j), which sets its chosen seeds
 //                   already cover, and live marginal-coverage counts.
@@ -16,18 +16,6 @@
 // sample serves them all while each advertiser keeps its own θ_j, covered
 // flags and coverage counts. See TiOptions::share_samples.
 //
-// Inverted-index layout (Table 3 memory): a compacted CSR base — one flat
-// ascending set-id array plus per-node offsets — covering everything indexed
-// at the last compaction, plus per-node chains of fixed-size posting blocks
-// for sets appended since. Appends go to the chains in O(1); once the
-// chained postings reach the CSR's size, the whole index is rebuilt as one
-// CSR (a transpose of the flat set storage — optionally sharded across a
-// ThreadPool and merged in node order), so compaction work is O(total
-// postings) amortized and the bulk of every node's postings stays
-// cache-linear for RemoveCoveredBy scans. Per-posting overhead is ~4 bytes
-// in the base (exact-fit) versus the old vector<vector> layout's geometric
-// capacity slack.
-//
 // Maintenance operations (per view):
 //   - adopt newly sampled sets (latent seed-size growth, Alg. 2 line 19);
 //   - coverage counts cov(v) over *alive* adopted sets — covered sets are
@@ -36,6 +24,14 @@
 //   - removal of all sets covered by a newly selected seed (line 14);
 //   - running covered count, giving the spread estimate σ(S) ≈ n·covered/θ
 //     that UpdateEstimates (Algorithm 3) maintains when the sample grows.
+//
+// Spill interplay: the view's per-set alive flags and per-node coverage
+// counts always stay resident (1 byte / 4 bytes per entry). Only the set
+// MEMBERS go cold, and the view re-reads members in exactly one situation —
+// when a committed seed covers a set (RemoveCoveredBy). That path scans the
+// store's cold chunks first (ascending set id), then the hot index; since
+// both visit the same sets with the same contents as a resident-only store
+// would, every derived quantity is bit-identical at any memory budget.
 
 #ifndef ISA_RRSET_RR_COLLECTION_H_
 #define ISA_RRSET_RR_COLLECTION_H_
@@ -48,6 +44,7 @@
 #include "common/rng.h"
 #include "graph/graph.h"
 #include "rrset/rr_sampler.h"
+#include "rrset/rr_store.h"
 
 namespace isa {
 class ThreadPool;
@@ -57,115 +54,16 @@ namespace isa::rrset {
 
 class ParallelSampler;
 
-/// Append-only flat storage of RR sets with an inverted index.
-class RrStore {
- public:
-  explicit RrStore(graph::NodeId num_nodes);
-
-  /// Samples `count` additional RR sets via `sampler` and indexes them.
-  void Sample(RrSampler& sampler, uint64_t count, Rng& rng);
-
-  /// Appends pre-sampled sets: `sizes[k]` members of set k taken in order
-  /// from the concatenated `nodes`. Used by ParallelSampler's batch merge.
-  /// When `pool` is given, a compaction triggered by the batch builds the
-  /// index sharded across the pool (bit-identical to the serial build).
-  void AppendBatch(std::span<const graph::NodeId> nodes,
-                   std::span<const uint32_t> sizes,
-                   ThreadPool* pool = nullptr);
-
-  uint64_t num_sets() const { return rr_offsets_.size() - 1; }
-  graph::NodeId num_nodes() const { return num_nodes_; }
-
-  /// Members of set `r`.
-  std::span<const graph::NodeId> SetMembers(uint64_t r) const {
-    return {rr_nodes_.data() + rr_offsets_[r],
-            rr_nodes_.data() + rr_offsets_[r + 1]};
-  }
-
-  /// Total members over sets [lo, hi) — the work measure parallel
-  /// consumers gate their worker counts on.
-  uint64_t PostingsInRange(uint64_t lo, uint64_t hi) const {
-    return rr_offsets_[hi] - rr_offsets_[lo];
-  }
-
-  /// Splits sets [lo, hi) into `workers` contiguous ranges of roughly
-  /// equal postings (RR-set sizes are power-law skewed, so equal set
-  /// counts would not balance work). Returns workers + 1 ascending bounds.
-  std::vector<uint64_t> PostingBalancedRanges(uint64_t lo, uint64_t hi,
-                                              uint32_t workers) const;
-
-  /// Calls fn(set_id) for every set containing `v`, in ascending id order
-  /// (CSR base first, then the append chains — both append in id order, so
-  /// views can stop scanning at their adopted prefix). fn returns false to
-  /// stop early; ForEachSetContaining returns false iff stopped.
-  template <typename Fn>
-  bool ForEachSetContaining(graph::NodeId v, Fn&& fn) const {
-    for (uint64_t k = csr_offsets_[v]; k < csr_offsets_[v + 1]; ++k) {
-      if (!fn(csr_sets_[k])) return false;
-    }
-    if (!chain_head_.empty()) {
-      for (uint32_t b = chain_head_[v]; b != kNoBlock; b = blocks_[b].next) {
-        const PostingBlock& blk = blocks_[b];
-        for (uint32_t k = 0; k < blk.count; ++k) {
-          if (!fn(blk.ids[k])) return false;
-        }
-      }
-    }
-    return true;
-  }
-
-  /// Ids of the sets containing `v`, ascending, materialized (tests and
-  /// diagnostics; hot paths use ForEachSetContaining).
-  std::vector<uint32_t> SetsContaining(graph::NodeId v) const;
-
-  /// Mean cardinality over all stored sets.
-  double MeanSetSize() const;
-
-  /// Heap footprint: flat arrays, inverted index, and scratch buffers.
-  uint64_t MemoryBytes() const;
-  /// Inverted-index share of MemoryBytes (CSR + chains).
-  uint64_t IndexBytes() const;
-  /// What the pre-CSR vector<vector<uint32_t>> index would report for the
-  /// same postings (per-node capacity from push_back doubling). Diagnostic
-  /// for the Table 3 memory comparison.
-  uint64_t LegacyIndexBytes() const;
-
- private:
-  static constexpr uint32_t kNoBlock = UINT32_MAX;
-  static constexpr uint32_t kPostingBlockCap = 14;
-  // 64 bytes — one cache line per chain hop.
-  struct PostingBlock {
-    uint32_t next = kNoBlock;
-    uint32_t count = 0;
-    uint32_t ids[kPostingBlockCap];
-  };
-
-  // Appends posting (v -> id) to v's chain.
-  void ChainAppend(graph::NodeId v, uint32_t id);
-  // Indexes the sets appended since the last IndexTail call: chains them,
-  // or — once the postings outside the CSR base reach the base's size —
-  // rebuilds the base as the transpose of the whole flat storage (sharded
-  // across `pool` when given and worthwhile) and drops the chains.
-  void IndexTail(ThreadPool* pool);
-  void RebuildIndex(ThreadPool* pool);
-
-  graph::NodeId num_nodes_;
-  std::vector<uint64_t> rr_offsets_;      // num_sets() + 1
-  std::vector<graph::NodeId> rr_nodes_;   // concatenated members
-
-  // Inverted index: CSR base + per-node overflow chains (see file comment).
-  std::vector<uint64_t> csr_offsets_;     // num_nodes + 1
-  std::vector<uint32_t> csr_sets_;
-  std::vector<PostingBlock> blocks_;
-  std::vector<uint32_t> chain_head_;      // per node, kNoBlock-terminated;
-  std::vector<uint32_t> chain_tail_;      //   allocated on first chain use
-  uint64_t chained_postings_ = 0;
-  uint64_t indexed_sets_ = 0;             // prefix covered by CSR + chains
-
-  std::vector<graph::NodeId> scratch_;
-};
-
 /// One advertiser's coverage view over (a prefix of) an RrStore.
+///
+/// Invariants:
+///   - the adopted prefix θ only grows (AddSets / AdoptUpTo), and always
+///     over RESIDENT store sets — the spill policy may evict only ids
+///     every view has already adopted;
+///   - coverage_[v] counts alive adopted sets containing v; it increases
+///     only on adoption and decreases only in RemoveCoveredBy;
+///   - delta reports (`touched`) are ascending node-id lists at any worker
+///     count — the determinism key the incremental heap repair relies on.
 class RrCollection {
  public:
   /// Creates a view with its own private store.
@@ -196,11 +94,12 @@ class RrCollection {
                std::vector<graph::NodeId>* touched = nullptr);
 
   /// Adopts sets already present in the store up to prefix length
-  /// `new_theta` (>= total_sets(); the store must hold that many). This is
-  /// the async θ-growth barrier path: the scheduler samples into side
-  /// buffers while selection proceeds, appends them to the store at the
-  /// barrier, and adopts here. Coverage accumulation shards across `pool`
-  /// when given and worthwhile; `touched` as in AddSets.
+  /// `new_theta` (>= total_sets(); the store must hold that many, all of
+  /// them resident). This is the async θ-growth barrier path: the
+  /// scheduler samples into side buffers while selection proceeds, appends
+  /// them to the store at the barrier, and adopts here. Coverage
+  /// accumulation shards across `pool` when given and worthwhile;
+  /// `touched` as in AddSets.
   void AdoptUpTo(uint64_t new_theta,
                  std::span<const graph::NodeId> current_seeds,
                  ThreadPool* pool = nullptr,
@@ -223,12 +122,17 @@ class RrCollection {
 
   /// Marks all alive adopted sets containing `v` covered and updates the
   /// coverage counts of their members. Returns how many sets were newly
-  /// covered. When `touched` is non-null it is cleared and filled with the
-  /// nodes whose coverage decreased (members of the newly covered sets),
-  /// ascending — the windowed candidate rule uses this delta set to avoid
-  /// re-settling unaffected window entries.
+  /// covered. When the store has a spilled prefix, its cold chunks are
+  /// scanned first (sequential reads, parallel across `pool` workers when
+  /// given), then the hot index — ascending set id throughout, so the
+  /// result is bit-identical to a resident-only store. When `touched` is
+  /// non-null it is cleared and filled with the nodes whose coverage
+  /// decreased (members of the newly covered sets), ascending — the
+  /// windowed candidate rule uses this delta set to avoid re-settling
+  /// unaffected window entries.
   uint32_t RemoveCoveredBy(graph::NodeId v,
-                           std::vector<graph::NodeId>* touched = nullptr);
+                           std::vector<graph::NodeId>* touched = nullptr,
+                           ThreadPool* pool = nullptr);
 
   /// θ — sets adopted by this view.
   uint64_t total_sets() const { return theta_; }
@@ -246,14 +150,16 @@ class RrCollection {
   /// Mean cardinality over the store's sets (diagnostics).
   double MeanSetSize() const { return store_->MeanSetSize(); }
 
-  /// Heap footprint. With include_store, counts the backing store too —
-  /// callers sharing a store should count it once across views (see
+  /// RESIDENT heap footprint. With include_store, counts the backing store
+  /// too — callers sharing a store should count it once across views (see
   /// RunTiGreedy's accounting) and use view-only bytes per advertiser.
+  /// Spilled store bytes are on disk: see RrStore::SpilledBytes.
   uint64_t MemoryBytes(bool include_store = true) const;
 
   const std::shared_ptr<RrStore>& store() const { return store_; }
 
-  /// Members of adopted set `r` and its alive flag (tests/diagnostics).
+  /// Members of adopted set `r` and its alive flag (tests/diagnostics;
+  /// `r` must be resident).
   std::span<const graph::NodeId> SetMembers(uint64_t r) const {
     return store_->SetMembers(r);
   }
@@ -262,7 +168,7 @@ class RrCollection {
  private:
   std::shared_ptr<RrStore> store_;
   uint64_t theta_ = 0;                 // adopted prefix length
-  std::vector<uint8_t> alive_;         // per adopted set
+  std::vector<uint8_t> alive_;         // per adopted set (always resident)
   std::vector<uint32_t> coverage_;     // per node, over alive adopted sets
   uint64_t covered_count_ = 0;
   // Scratch for delta collection: per-node dedup marks (lazily allocated,

@@ -1,0 +1,412 @@
+#include "rrset/rr_store.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "rrset/spill_file.h"
+
+namespace isa::rrset {
+
+namespace {
+
+// Below this posting count the sharded index build costs more in transient
+// per-worker arrays and task hand-off than it saves; the serial build is
+// used (the results are bit-identical either way). Each extra worker also
+// zero-fills and merges an O(num_nodes) count array, so the effective
+// per-worker floor is max(threshold, num_nodes).
+constexpr uint64_t kMinPostingsPerIndexWorker = 1u << 14;
+
+}  // namespace
+
+RrStore::RrStore(graph::NodeId num_nodes)
+    : num_nodes_(num_nodes),
+      rr_offsets_{0},
+      csr_offsets_(static_cast<size_t>(num_nodes) + 1, 0) {}
+
+RrStore::~RrStore() = default;
+RrStore::RrStore(RrStore&&) noexcept = default;
+RrStore& RrStore::operator=(RrStore&&) noexcept = default;
+
+void RrStore::Sample(RrSampler& sampler, uint64_t count, Rng& rng) {
+  // Sets stream straight into the flat arrays; the whole batch is then
+  // indexed as a unit (same policy as the parallel path's AppendBatch).
+  for (uint64_t i = 0; i < count; ++i) {
+    sampler.SampleInto(rng, &scratch_);
+    rr_nodes_.insert(rr_nodes_.end(), scratch_.begin(), scratch_.end());
+    total_postings_ += scratch_.size();
+    rr_offsets_.push_back(rr_nodes_.size());
+  }
+  IndexTail(/*pool=*/nullptr);
+}
+
+void RrStore::ChainAppend(graph::NodeId v, uint32_t id) {
+  if (chain_head_.empty()) {
+    chain_head_.assign(num_nodes_, kNoBlock);
+    chain_tail_.assign(num_nodes_, kNoBlock);
+  }
+  uint32_t b = chain_tail_[v];
+  if (b == kNoBlock || blocks_[b].count == kPostingBlockCap) {
+    const uint32_t nb = static_cast<uint32_t>(blocks_.size());
+    blocks_.emplace_back();
+    if (b == kNoBlock) {
+      chain_head_[v] = nb;
+    } else {
+      blocks_[b].next = nb;
+    }
+    chain_tail_[v] = nb;
+    b = nb;
+  }
+  PostingBlock& blk = blocks_[b];
+  blk.ids[blk.count++] = id;
+}
+
+void RrStore::AppendBatch(std::span<const graph::NodeId> nodes,
+                          std::span<const uint32_t> sizes, ThreadPool* pool) {
+  if (sizes.empty()) return;
+  // No exact-size reserve here: it would pin capacity == size and force a
+  // full reallocation on every incremental growth batch; push_back's
+  // geometric growth amortizes across batches instead.
+  rr_nodes_.insert(rr_nodes_.end(), nodes.begin(), nodes.end());
+  total_postings_ += nodes.size();
+  uint64_t pos = rr_offsets_.back();
+  for (uint32_t size : sizes) {
+    pos += size;
+    rr_offsets_.push_back(pos);
+  }
+  IndexTail(pool);
+}
+
+void RrStore::IndexTail(ThreadPool* pool) {
+  const uint64_t tail_postings =
+      rr_nodes_.size() - rr_offsets_[indexed_sets_ - first_resident_];
+  if (tail_postings == 0) {
+    indexed_sets_ = num_sets();
+    return;
+  }
+  // Geometric compaction policy: once the postings outside the CSR base
+  // reach the base's size, transpose everything into a fresh base — O(P)
+  // per compaction at ~doubled P, so O(hot postings) amortized. Small
+  // growth batches land in the O(1)-append chains in between.
+  if (chained_postings_ + tail_postings >= csr_sets_.size()) {
+    RebuildIndex(pool);
+    return;
+  }
+  for (uint64_t r = indexed_sets_; r < num_sets(); ++r) {
+    for (graph::NodeId v : SetMembers(r)) {
+      ChainAppend(v, static_cast<uint32_t>(r));
+    }
+  }
+  chained_postings_ += tail_postings;
+  indexed_sets_ = num_sets();
+}
+
+void RrStore::RebuildIndex(ThreadPool* pool) {
+  const uint64_t postings = rr_nodes_.size();  // hot postings only
+  const uint64_t sets = num_sets();
+  const uint64_t first = first_resident_;
+  const uint64_t hot_sets = sets - first;
+  uint32_t workers = 1;
+  if (pool != nullptr && hot_sets > 1) {
+    workers = pool->WorkersFor(
+        postings,
+        std::max<uint64_t>(kMinPostingsPerIndexWorker, num_nodes_));
+    workers = static_cast<uint32_t>(std::min<uint64_t>(workers, hot_sets));
+  }
+
+  std::vector<uint64_t> offsets(static_cast<size_t>(num_nodes_) + 1, 0);
+  std::vector<uint32_t> flat(postings);
+  if (workers <= 1) {
+    for (graph::NodeId v : rr_nodes_) ++offsets[v + 1];
+    for (graph::NodeId v = 0; v < num_nodes_; ++v) {
+      offsets[v + 1] += offsets[v];
+    }
+    std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (uint64_t r = first; r < sets; ++r) {
+      for (graph::NodeId v : SetMembers(r)) {
+        flat[cursor[v]++] = static_cast<uint32_t>(r);
+      }
+    }
+  } else {
+    // Two-pass parallel counting sort, sharded by contiguous set ranges:
+    // per-worker histograms over the nodes, then a serial prefix pass that
+    // turns them into disjoint write cursors, then a parallel fill. Worker
+    // ranges ascend in set id and each worker scans its range in order, so
+    // every node's postings come out ascending — identical to the serial
+    // build.
+    const std::vector<uint64_t> bounds =
+        PostingBalancedRanges(first, sets, workers);
+    std::vector<std::vector<uint64_t>> hist(workers);
+    pool->Run(workers, [&](uint64_t w) {
+      auto& h = hist[w];
+      h.assign(num_nodes_, 0);
+      const uint64_t lo = rr_offsets_[bounds[w] - first];
+      const uint64_t hi = rr_offsets_[bounds[w + 1] - first];
+      for (uint64_t k = lo; k < hi; ++k) ++h[rr_nodes_[k]];
+    });
+    for (graph::NodeId v = 0; v < num_nodes_; ++v) {
+      uint64_t base = offsets[v];
+      for (uint32_t w = 0; w < workers; ++w) {
+        const uint64_t c = hist[w][v];
+        hist[w][v] = base;  // becomes worker w's write cursor for v
+        base += c;
+      }
+      offsets[v + 1] = base;
+    }
+    pool->Run(workers, [&](uint64_t w) {
+      auto& cursor = hist[w];
+      for (uint64_t r = bounds[w]; r < bounds[w + 1]; ++r) {
+        for (graph::NodeId v : SetMembers(r)) {
+          flat[cursor[v]++] = static_cast<uint32_t>(r);
+        }
+      }
+    });
+  }
+
+  csr_offsets_ = std::move(offsets);
+  csr_sets_ = std::move(flat);
+  blocks_.clear();
+  blocks_.shrink_to_fit();
+  chain_head_.clear();
+  chain_head_.shrink_to_fit();
+  chain_tail_.clear();
+  chain_tail_.shrink_to_fit();
+  chained_postings_ = 0;
+  indexed_sets_ = sets;
+}
+
+std::vector<uint64_t> RrStore::PostingBalancedRanges(uint64_t lo, uint64_t hi,
+                                                     uint32_t workers) const {
+  // rr_offsets_ is the cumulative posting count over resident sets, so a
+  // binary search places each boundary at the set whose cumulative
+  // postings cross the target. All ids here are hot, translated to
+  // resident indices for the search and back for the returned bounds.
+  const uint64_t first = first_resident_;
+  std::vector<uint64_t> bounds(workers + 1, hi);
+  bounds[0] = lo;
+  const uint64_t base = rr_offsets_[lo - first];
+  const uint64_t total = rr_offsets_[hi - first] - base;
+  for (uint32_t w = 1; w < workers; ++w) {
+    const uint64_t target = base + total / workers * w;
+    bounds[w] = first + static_cast<uint64_t>(
+        std::upper_bound(rr_offsets_.begin() + (lo - first),
+                         rr_offsets_.begin() + (hi - first), target) -
+        rr_offsets_.begin() - 1);
+    bounds[w] = std::clamp(bounds[w], bounds[w - 1], hi);
+  }
+  return bounds;
+}
+
+std::vector<uint32_t> RrStore::SetsContaining(graph::NodeId v) const {
+  std::vector<uint32_t> out;
+  ForEachSetContaining(v, [&](uint32_t r) {
+    out.push_back(r);
+    return true;
+  });
+  return out;
+}
+
+double RrStore::MeanSetSize() const {
+  if (num_sets() == 0) return 0.0;
+  return static_cast<double>(total_postings_) /
+         static_cast<double>(num_sets());
+}
+
+// -------------------------------------------------------------- spill tier
+
+void RrStore::SpillPrefix(uint64_t new_first, const SpillOptions& options,
+                          ThreadPool* pool) {
+  ISA_CHECK(new_first <= num_sets());
+  if (new_first <= first_resident_) return;
+  if (spill_ == nullptr) {
+    spill_ = std::make_unique<SpillFile>(
+        options.path.empty() ? MakeSpillPath() : options.path);
+  }
+  // Carve [first_resident_, new_first) into chunks of ~chunk_target_bytes
+  // of member payload. Sets are contiguous in rr_nodes_, so each chunk's
+  // nodes column is one span; only the sizes column is materialized.
+  const uint64_t target = std::max<uint64_t>(1, options.chunk_target_bytes);
+  std::vector<uint32_t> sizes;
+  uint64_t lo = first_resident_;
+  while (lo < new_first) {
+    uint64_t hi = lo;
+    uint64_t bytes = 0;
+    sizes.clear();
+    while (hi < new_first && bytes < target) {
+      const uint64_t members = PostingsInRange(hi, hi + 1);
+      sizes.push_back(static_cast<uint32_t>(members));
+      bytes += members * sizeof(graph::NodeId) + sizeof(uint32_t);
+      ++hi;
+    }
+    const uint64_t node_lo = rr_offsets_[lo - first_resident_];
+    const uint64_t node_hi = rr_offsets_[hi - first_resident_];
+    spill_->AppendChunk(lo, hi, sizes,
+                        std::span<const graph::NodeId>(
+                            rr_nodes_.data() + node_lo, node_hi - node_lo));
+    lo = hi;
+  }
+  DropPrefix(new_first, pool);
+}
+
+void RrStore::DropPrefix(uint64_t new_first, ThreadPool* pool) {
+  const uint64_t drop = new_first - first_resident_;
+  const uint64_t dropped_postings = rr_offsets_[drop];
+  // The inverted index is rebuilt from scratch below either way; freeing
+  // it BEFORE the column rebuild roughly halves this function's transient
+  // peak (old index ≈ old nodes column in size). The store is
+  // query-invalid between here and RebuildIndex — fine, DropPrefix is
+  // atomic from the caller's view.
+  csr_offsets_ = {};
+  csr_sets_ = {};
+  blocks_ = {};
+  chain_head_ = {};
+  chain_tail_ = {};
+  chained_postings_ = 0;
+  // Exact-fit rebuild of both resident columns: an erase would keep the
+  // old capacity alive and the freed bytes would never leave MemoryBytes,
+  // defeating the budget the spill exists to honor. This transiently
+  // holds old + retained copies of the nodes column (the unavoidable cost
+  // of an exact-fit shrink); the barrier meter samples after the spill,
+  // so size budgets with that headroom in mind.
+  std::vector<graph::NodeId> nodes(rr_nodes_.begin() + dropped_postings,
+                                   rr_nodes_.end());
+  std::vector<uint64_t> offsets;
+  offsets.reserve(rr_offsets_.size() - drop);
+  for (size_t i = drop; i < rr_offsets_.size(); ++i) {
+    offsets.push_back(rr_offsets_[i] - dropped_postings);
+  }
+  rr_nodes_.swap(nodes);
+  nodes = {};  // release the old column before the index rebuild allocates
+  rr_offsets_.swap(offsets);
+  first_resident_ = new_first;
+  // Re-index the hot remainder (drops every spilled id from the index).
+  RebuildIndex(pool);
+}
+
+void RrStore::ForEachSpilledSetContaining(
+    graph::NodeId v, uint64_t max_id, ThreadPool* pool,
+    const std::function<bool(uint64_t)>& candidate,
+    const std::function<void(uint64_t, std::span<const graph::NodeId>)>& fn)
+    const {
+  if (spill_ == nullptr) return;
+  const std::span<const SpillFile::ChunkMeta> chunks = spill_->chunks();
+  std::vector<uint32_t> cand;
+  for (uint32_t i = 0; i < chunks.size(); ++i) {
+    const SpillFile::ChunkMeta& m = chunks[i];
+    if (m.set_lo >= max_id) break;  // chunk ranges ascend
+    if (m.postings == 0 || v < m.node_min || v > m.node_max) continue;
+    cand.push_back(i);
+  }
+  if (cand.empty()) return;
+  scan_reloads_ += cand.size();
+
+  // Walks one chunk's sets in id order; emit(id, members) for every
+  // candidate set containing v (members point into `nodes` — valid only
+  // during the call).
+  auto walk_chunk = [&](uint64_t k, std::vector<uint32_t>& sizes,
+                        std::vector<graph::NodeId>& nodes, auto&& emit) {
+    const SpillFile::ChunkMeta& m = chunks[cand[k]];
+    spill_->ReadChunk(cand[k], &sizes, &nodes);
+    uint64_t off = 0;
+    for (uint64_t s = 0; s < sizes.size(); ++s) {
+      const uint64_t id = m.set_lo + s;
+      const uint32_t size = sizes[s];
+      if (id >= max_id) break;
+      // The candidate filter runs before the membership scan and any
+      // copy: among old spilled sets most are already covered, and they
+      // must cost nothing beyond the chunk read itself.
+      if (candidate == nullptr || candidate(id)) {
+        const graph::NodeId* members = nodes.data() + off;
+        for (uint32_t i = 0; i < size; ++i) {
+          if (members[i] == v) {
+            emit(id, std::span<const graph::NodeId>(members, size));
+            break;
+          }
+        }
+      }
+      off += size;
+    }
+  };
+
+  if (pool != nullptr && cand.size() > 1) {
+    // One worker reads + filters one chunk; matches (id + a copy of the
+    // members — bounded by the candidate filter) land in per-chunk slots.
+    // fn runs serially afterwards in ascending chunk (= set id) order, so
+    // the observable call sequence is identical at any worker count.
+    struct Matches {
+      std::vector<uint64_t> ids;
+      std::vector<uint64_t> ends;  // prefix ends into `members`
+      std::vector<graph::NodeId> members;
+    };
+    std::vector<Matches> found(cand.size());
+    pool->Run(cand.size(), [&](uint64_t k) {
+      std::vector<uint32_t> sizes;
+      std::vector<graph::NodeId> nodes;
+      Matches& out = found[k];
+      walk_chunk(k, sizes, nodes,
+                 [&](uint64_t id, std::span<const graph::NodeId> members) {
+                   out.ids.push_back(id);
+                   out.members.insert(out.members.end(), members.begin(),
+                                      members.end());
+                   out.ends.push_back(out.members.size());
+                 });
+    });
+    for (const Matches& m : found) {
+      uint64_t begin = 0;
+      for (size_t i = 0; i < m.ids.size(); ++i) {
+        fn(m.ids[i], std::span<const graph::NodeId>(m.members.data() + begin,
+                                                    m.ends[i] - begin));
+        begin = m.ends[i];
+      }
+    }
+  } else {
+    // Serial path streams fn straight off the chunk buffer — no copies.
+    std::vector<uint32_t> sizes;
+    std::vector<graph::NodeId> nodes;
+    for (uint64_t k = 0; k < cand.size(); ++k) {
+      walk_chunk(k, sizes, nodes, fn);
+    }
+  }
+}
+
+uint64_t RrStore::SpilledBytes() const {
+  return spill_ == nullptr ? 0 : spill_->bytes_on_disk();
+}
+
+uint64_t RrStore::SpillChunks() const {
+  return spill_ == nullptr ? 0 : spill_->num_chunks();
+}
+
+// -------------------------------------------------------------- accounting
+
+uint64_t RrStore::MemoryBytes() const {
+  return rr_offsets_.capacity() * sizeof(uint64_t) +
+         rr_nodes_.capacity() * sizeof(graph::NodeId) + IndexBytes() +
+         scratch_.capacity() * sizeof(graph::NodeId) +
+         (spill_ == nullptr ? 0 : spill_->MetadataBytes());
+}
+
+uint64_t RrStore::IndexBytes() const {
+  return csr_offsets_.capacity() * sizeof(uint64_t) +
+         csr_sets_.capacity() * sizeof(uint32_t) +
+         blocks_.capacity() * sizeof(PostingBlock) +
+         (chain_head_.capacity() + chain_tail_.capacity()) * sizeof(uint32_t);
+}
+
+uint64_t RrStore::LegacyIndexBytes() const {
+  uint64_t bytes = 0;
+  for (graph::NodeId v = 0; v < num_nodes_; ++v) {
+    uint64_t count = csr_offsets_[v + 1] - csr_offsets_[v];
+    if (!chain_head_.empty()) {
+      for (uint32_t b = chain_head_[v]; b != kNoBlock; b = blocks_[b].next) {
+        count += blocks_[b].count;
+      }
+    }
+    // push_back from empty doubles capacity: 1, 2, 4, ... = bit_ceil(count).
+    if (count > 0) bytes += std::bit_ceil(count) * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace isa::rrset

@@ -1,0 +1,261 @@
+// RrStore — append-only RR-set storage with an inverted index and an
+// optional out-of-core cold tier (split out of rr_collection.h; the
+// per-advertiser coverage views live there).
+//
+// Two-tier layout (Table 3 at paper scale):
+//
+//   hot  (resident)  — flat columnar set storage (offsets + concatenated
+//                      members) for sets [first_resident_set, num_sets),
+//                      plus the CSR + chained-postings inverted index over
+//                      exactly those sets;
+//   cold (spilled)   — sets [0, first_resident_set) evicted to an
+//                      append-only columnar chunk file (spill_file.h),
+//                      readable only through sequential chunk scans.
+//
+// Eviction moves a *prefix*: set ids are adoption order, so the oldest,
+// fully-adopted sets go cold first (they are exactly the sets no adoption
+// or index append will touch again; a coverage view only revisits them
+// when a committed seed covers one — the chunk-scan path). The spill
+// policy (when and how much to evict) lives in tiered_store.h; this class
+// only provides the mechanism.
+//
+// Inverted-index layout (unchanged from the resident-only design): a
+// compacted CSR base — one flat ascending set-id array plus per-node
+// offsets — covering everything indexed at the last compaction, plus
+// per-node chains of fixed-size posting blocks for sets appended since.
+// Appends go to the chains in O(1); once the chained postings reach the
+// CSR's size, the whole index is rebuilt as one CSR (a transpose of the
+// resident flat storage — optionally sharded across a ThreadPool and
+// merged in node order), so compaction work is O(resident postings)
+// amortized and the bulk of every node's postings stays cache-linear for
+// RemoveCoveredBy scans. Per-posting overhead is ~4 bytes in the base
+// (exact-fit) versus the old vector<vector> layout's geometric capacity
+// slack. A spill rebuilds the index the same way, so the index never
+// holds a spilled id.
+//
+// Determinism: nothing here draws randomness. Spilling changes only WHERE
+// set bytes live, never their values or the order scans visit them
+// (ascending set id, cold chunks before the hot index), so any computation
+// over the store is bit-identical at any spill schedule, worker count, or
+// memory budget.
+
+#ifndef ISA_RRSET_RR_STORE_H_
+#define ISA_RRSET_RR_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "rrset/rr_sampler.h"
+
+namespace isa {
+class ThreadPool;
+}
+
+namespace isa::rrset {
+
+class SpillFile;
+struct SpillOptions;
+
+/// Append-only flat storage of RR sets with an inverted index and an
+/// optional spilled (on-disk) prefix.
+///
+/// Invariants:
+///   - set ids are append order and never change; ids [0,
+///     first_resident_set()) are cold, [first_resident_set(), num_sets())
+///     are hot;
+///   - SetMembers / PostingsInRange / PostingBalancedRanges accept only
+///     hot ids;
+///   - the inverted index covers exactly the hot sets, each node's
+///     postings ascending — consumers that scan cold chunks first and the
+///     index second therefore visit set ids globally ascending;
+///   - spilling never changes num_sets() or any set's content, so results
+///     computed through this class are bit-identical at any budget.
+class RrStore {
+ public:
+  explicit RrStore(graph::NodeId num_nodes);
+  ~RrStore();  // out of line: owns the SpillFile via unique_ptr
+  RrStore(RrStore&&) noexcept;
+  RrStore& operator=(RrStore&&) noexcept;
+
+  /// Samples `count` additional RR sets via `sampler` and indexes them.
+  void Sample(RrSampler& sampler, uint64_t count, Rng& rng);
+
+  /// Appends pre-sampled sets: `sizes[k]` members of set k taken in order
+  /// from the concatenated `nodes`. Used by ParallelSampler's batch merge.
+  /// When `pool` is given, a compaction triggered by the batch builds the
+  /// index sharded across the pool (bit-identical to the serial build).
+  void AppendBatch(std::span<const graph::NodeId> nodes,
+                   std::span<const uint32_t> sizes,
+                   ThreadPool* pool = nullptr);
+
+  /// Total sets ever appended (hot + spilled).
+  uint64_t num_sets() const {
+    return first_resident_ + rr_offsets_.size() - 1;
+  }
+  graph::NodeId num_nodes() const { return num_nodes_; }
+
+  /// Members of set `r`. Precondition: r is hot (>= first_resident_set()).
+  std::span<const graph::NodeId> SetMembers(uint64_t r) const {
+    const uint64_t i = r - first_resident_;
+    return {rr_nodes_.data() + rr_offsets_[i],
+            rr_nodes_.data() + rr_offsets_[i + 1]};
+  }
+
+  /// Total members over hot sets [lo, hi) — the work measure parallel
+  /// consumers gate their worker counts on.
+  uint64_t PostingsInRange(uint64_t lo, uint64_t hi) const {
+    return rr_offsets_[hi - first_resident_] -
+           rr_offsets_[lo - first_resident_];
+  }
+
+  /// Splits hot sets [lo, hi) into `workers` contiguous ranges of roughly
+  /// equal postings (RR-set sizes are power-law skewed, so equal set
+  /// counts would not balance work). Returns workers + 1 ascending bounds.
+  std::vector<uint64_t> PostingBalancedRanges(uint64_t lo, uint64_t hi,
+                                              uint32_t workers) const;
+
+  /// Calls fn(set_id) for every HOT set containing `v`, in ascending id
+  /// order (CSR base first, then the append chains — both append in id
+  /// order, so views can stop scanning at their adopted prefix). fn
+  /// returns false to stop early; ForEachSetContaining returns false iff
+  /// stopped. Spilled sets are reachable only through
+  /// ForEachSpilledSetContaining.
+  template <typename Fn>
+  bool ForEachSetContaining(graph::NodeId v, Fn&& fn) const {
+    for (uint64_t k = csr_offsets_[v]; k < csr_offsets_[v + 1]; ++k) {
+      if (!fn(csr_sets_[k])) return false;
+    }
+    if (!chain_head_.empty()) {
+      for (uint32_t b = chain_head_[v]; b != kNoBlock; b = blocks_[b].next) {
+        const PostingBlock& blk = blocks_[b];
+        for (uint32_t k = 0; k < blk.count; ++k) {
+          if (!fn(blk.ids[k])) return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Ids of the hot sets containing `v`, ascending, materialized (tests
+  /// and diagnostics; hot paths use ForEachSetContaining).
+  std::vector<uint32_t> SetsContaining(graph::NodeId v) const;
+
+  /// Mean cardinality over ALL stored sets, spilled included.
+  double MeanSetSize() const;
+
+  // ---- Spill tier (mechanism; policy in tiered_store.h). ----
+
+  /// Evicts resident sets [first_resident_set(), new_first) to the spill
+  /// file in columnar chunks of ~options.chunk_target_bytes, drops their
+  /// members and offsets from memory (exact-fit shrink, so MemoryBytes
+  /// genuinely falls), and rebuilds the inverted index over the remaining
+  /// hot sets (sharded across `pool` when given). The caller must
+  /// guarantee every evicted id is fully adopted by every view of this
+  /// store — views never re-read adopted members except through
+  /// ForEachSpilledSetContaining. No-op when new_first <=
+  /// first_resident_set().
+  void SpillPrefix(uint64_t new_first, const SpillOptions& options,
+                   ThreadPool* pool = nullptr);
+
+  /// First set id still resident; ids below are on disk (0 = nothing
+  /// spilled).
+  uint64_t first_resident_set() const { return first_resident_; }
+
+  /// Invokes fn(set_id, members) in ascending id order for every SPILLED
+  /// set with id < max_id whose members contain `v`. Chunks whose footer
+  /// node-envelope excludes `v` (or whose set range starts at or beyond
+  /// max_id) are skipped without touching disk; the rest are read back
+  /// sequentially — in parallel across `pool` workers when given, with fn
+  /// applied serially in ascending chunk order either way, so the call
+  /// sequence is identical at any worker count. A non-null `candidate`
+  /// predicate pre-filters set ids BEFORE the membership test and any
+  /// member copy (callers pass their alive filter, so already-covered
+  /// sets — the common case among old spilled sets — cost nothing beyond
+  /// the chunk read; it may be called from pool workers and must be
+  /// data-race-free against fn). Each chunk read is counted in
+  /// scan_reloads(). Propagates SpillIoError on a failed chunk read.
+  void ForEachSpilledSetContaining(
+      graph::NodeId v, uint64_t max_id, ThreadPool* pool,
+      const std::function<bool(uint64_t)>& candidate,
+      const std::function<void(uint64_t, std::span<const graph::NodeId>)>&
+          fn) const;
+
+  /// Bytes of this store's sets on disk (0 = never spilled). Non-resident:
+  /// excluded from MemoryBytes, reported separately for Table 3.
+  uint64_t SpilledBytes() const;
+  /// Chunks in the spill file.
+  uint64_t SpillChunks() const;
+  /// Chunk reads served so far (coverage-removal scans over cold sets).
+  uint64_t scan_reloads() const { return scan_reloads_; }
+
+  // ---- Accounting. ----
+
+  /// RESIDENT heap footprint: flat arrays, inverted index, scratch
+  /// buffers, and the spill file's in-memory footer mirror. Spilled set
+  /// bytes live on disk and are excluded — see SpilledBytes().
+  uint64_t MemoryBytes() const;
+  /// Inverted-index share of MemoryBytes (CSR + chains; hot sets only).
+  uint64_t IndexBytes() const;
+  /// What the pre-CSR vector<vector<uint32_t>> index would report for the
+  /// same (hot) postings (per-node capacity from push_back doubling).
+  /// Diagnostic for the Table 3 memory comparison.
+  uint64_t LegacyIndexBytes() const;
+
+ private:
+  static constexpr uint32_t kNoBlock = UINT32_MAX;
+  static constexpr uint32_t kPostingBlockCap = 14;
+  // 64 bytes — one cache line per chain hop.
+  struct PostingBlock {
+    uint32_t next = kNoBlock;
+    uint32_t count = 0;
+    uint32_t ids[kPostingBlockCap];
+  };
+
+  // Appends posting (v -> id) to v's chain.
+  void ChainAppend(graph::NodeId v, uint32_t id);
+  // Indexes the sets appended since the last IndexTail call: chains them,
+  // or — once the postings outside the CSR base reach the base's size —
+  // rebuilds the base as the transpose of the hot flat storage (sharded
+  // across `pool` when given and worthwhile) and drops the chains.
+  void IndexTail(ThreadPool* pool);
+  void RebuildIndex(ThreadPool* pool);
+  // Drops sets [first_resident_, new_first) from the resident columns
+  // (exact-fit rebuild of both arrays) and re-indexes the hot remainder.
+  void DropPrefix(uint64_t new_first, ThreadPool* pool);
+
+  graph::NodeId num_nodes_;
+  uint64_t first_resident_ = 0;
+  uint64_t total_postings_ = 0;           // over ALL sets, spilled included
+  // Resident columns: rr_offsets_[i] is the start of set
+  // (first_resident_ + i) in rr_nodes_; size = resident sets + 1,
+  // rr_offsets_[0] == 0.
+  std::vector<uint64_t> rr_offsets_;
+  std::vector<graph::NodeId> rr_nodes_;
+
+  // Inverted index over hot sets: CSR base + per-node overflow chains
+  // (see file comment).
+  std::vector<uint64_t> csr_offsets_;     // num_nodes + 1
+  std::vector<uint32_t> csr_sets_;
+  std::vector<PostingBlock> blocks_;
+  std::vector<uint32_t> chain_head_;      // per node, kNoBlock-terminated;
+  std::vector<uint32_t> chain_tail_;      //   allocated on first chain use
+  uint64_t chained_postings_ = 0;
+  uint64_t indexed_sets_ = 0;             // prefix covered by CSR + chains
+
+  std::vector<graph::NodeId> scratch_;
+
+  // Cold tier (created on first SpillPrefix). scan_reloads_ mutates on
+  // const scans; updated only from the (single) calling thread, before the
+  // parallel chunk reads are launched.
+  std::unique_ptr<SpillFile> spill_;
+  mutable uint64_t scan_reloads_ = 0;
+};
+
+}  // namespace isa::rrset
+
+#endif  // ISA_RRSET_RR_STORE_H_

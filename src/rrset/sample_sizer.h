@@ -83,8 +83,18 @@ struct SampleSizerOptions {
   uint64_t min_pilot_sets_per_task = 256;
 };
 
-/// The once-per-store KPT pilot plus the raw Eq. 8 evaluator. Not
-/// thread-safe after construction: the diagnostic counters mutate on
+/// The once-per-store KPT pilot plus the raw Eq. 8 evaluator.
+///
+/// Invariants:
+///   - the pilot runs at most once (in the constructor) and its products
+///     (KPT estimate, convergence flag, set count) never change after;
+///   - OptLowerBound() is constant in s — KPT ≤ OPT_1 ≤ OPT_s — so one
+///     pilot serves every seed-set size and every ad sharing the store;
+///   - ThetaFor is a pure function of (s, the pilot, the options),
+///     clamped to [1, theta_cap]; it is bit-identical at any worker
+///     count because the pilot draws from per-set-id substreams.
+///
+/// Not thread-safe after construction: the diagnostic counters mutate on
 /// (const) ThetaFor calls, so concurrent readers must hold distinct sizers
 /// or serialize externally — the TI driver queries only from the group's
 /// init task and then the single scheduler thread.
@@ -154,8 +164,15 @@ class SampleSizer {
 /// The per-s sample-size table θ(s) = running max of SampleSizer::ThetaFor
 /// over s' ≤ s, lazily memoized. One schedule per advertiser (its memo and
 /// counters are per-ad state) over a SampleSizer that may be shared by
-/// every advertiser on the same RR store. Query order never changes the
-/// values: θ(s) is determined by the pilot alone.
+/// every advertiser on the same RR store.
+///
+/// Invariants:
+///   - θ(s) is monotone non-decreasing in s (running max), matching
+///     Algorithm 2 line 19: adopted samples never shrink;
+///   - query order never changes the values — θ(s) is determined by the
+///     pilot alone, so two ads sharing a sizer can interleave queries
+///     arbitrarily and read identical tables;
+///   - out-of-range s is clamped to [1, n] and counted, never silent.
 class ThetaSchedule {
  public:
   ThetaSchedule() = default;

@@ -1,0 +1,133 @@
+#include "rrset/spill_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "common/logging.h"
+
+namespace isa::rrset {
+
+namespace {
+
+// The on-disk footer: ChunkMeta's fields at fixed width, written after each
+// chunk's payload so the file is self-describing (a backward walk from EOF
+// recovers every footer).
+struct DiskFooter {
+  uint64_t set_lo;
+  uint64_t set_hi;
+  uint32_t node_min;
+  uint32_t node_max;
+  uint64_t file_offset;
+  uint64_t postings;
+};
+static_assert(sizeof(DiskFooter) == 40);
+
+[[noreturn]] void ThrowIo(const char* op, const char* path,
+                          const char* detail) {
+  ISA_LOG("SpillFile: %s(%s) failed: %s", op, path, detail);
+  throw SpillIoError(std::string("SpillFile: ") + op + "(" + path +
+                     ") failed: " + detail);
+}
+
+void PwriteAll(int fd, const void* data, size_t len, uint64_t offset,
+               const char* path) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::pwrite(fd, p, len, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ThrowIo("pwrite", path, std::strerror(errno));
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+    offset += static_cast<uint64_t>(n);
+  }
+}
+
+void PreadAll(int fd, void* data, size_t len, uint64_t offset,
+              const char* path) {
+  char* p = static_cast<char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::pread(fd, p, len, static_cast<off_t>(offset));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      ThrowIo("pread", path, n == 0 ? "unexpected EOF" : std::strerror(errno));
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+    offset += static_cast<uint64_t>(n);
+  }
+}
+
+}  // namespace
+
+std::string MakeSpillPath(const std::string& dir) {
+  static std::atomic<uint64_t> seq{0};
+  std::string base = dir;
+  if (base.empty()) {
+    std::error_code ec;
+    auto tmp = std::filesystem::temp_directory_path(ec);
+    base = ec ? "/tmp" : tmp.string();
+  }
+  return base + "/isa-spill-" + std::to_string(::getpid()) + "-" +
+         std::to_string(seq.fetch_add(1)) + ".bin";
+}
+
+SpillFile::SpillFile(std::string path) : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_CREAT | O_TRUNC | O_RDWR | O_CLOEXEC, 0644);
+  if (fd_ < 0) ThrowIo("open", path_.c_str(), std::strerror(errno));
+}
+
+SpillFile::~SpillFile() {
+  if (fd_ >= 0) ::close(fd_);
+  ::unlink(path_.c_str());
+}
+
+void SpillFile::AppendChunk(uint64_t set_lo, uint64_t set_hi,
+                            std::span<const uint32_t> sizes,
+                            std::span<const graph::NodeId> nodes) {
+  ISA_CHECK(set_hi - set_lo == sizes.size());
+  // Chunks must tile ascending id ranges without overlap — scans rely on
+  // it, and an overlap here means a caller re-spilled a range after a
+  // SpillIoError (the file is then inconsistent; fail loudly).
+  ISA_CHECK(chunks_.empty() || set_lo == chunks_.back().set_hi);
+  ChunkMeta meta;
+  meta.set_lo = set_lo;
+  meta.set_hi = set_hi;
+  meta.file_offset = bytes_;
+  meta.postings = nodes.size();
+  meta.node_min = nodes.empty() ? 0 : UINT32_MAX;
+  meta.node_max = 0;
+  for (graph::NodeId v : nodes) {
+    if (v < meta.node_min) meta.node_min = v;
+    if (v > meta.node_max) meta.node_max = v;
+  }
+
+  PwriteAll(fd_, sizes.data(), sizes.size_bytes(), bytes_, path_.c_str());
+  bytes_ += sizes.size_bytes();
+  PwriteAll(fd_, nodes.data(), nodes.size_bytes(), bytes_, path_.c_str());
+  bytes_ += nodes.size_bytes();
+  const DiskFooter footer{meta.set_lo,      meta.set_hi,   meta.node_min,
+                          meta.node_max,    meta.file_offset, meta.postings};
+  PwriteAll(fd_, &footer, sizeof(footer), bytes_, path_.c_str());
+  bytes_ += sizeof(footer);
+  chunks_.push_back(meta);
+}
+
+void SpillFile::ReadChunk(size_t chunk, std::vector<uint32_t>* sizes,
+                          std::vector<graph::NodeId>* nodes) const {
+  const ChunkMeta& meta = chunks_[chunk];
+  sizes->resize(meta.set_hi - meta.set_lo);
+  nodes->resize(meta.postings);
+  PreadAll(fd_, sizes->data(), sizes->size() * sizeof(uint32_t),
+           meta.file_offset, path_.c_str());
+  PreadAll(fd_, nodes->data(), nodes->size() * sizeof(graph::NodeId),
+           meta.file_offset + sizes->size() * sizeof(uint32_t), path_.c_str());
+}
+
+}  // namespace isa::rrset

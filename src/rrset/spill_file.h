@@ -1,0 +1,128 @@
+// Append-only columnar chunk file — the cold tier of the out-of-core RR
+// store (see rr_store.h for the two-tier picture).
+//
+// A chunk holds a contiguous range of RR sets [set_lo, set_hi) in two
+// columns, exactly the (sizes, nodes) shape RrStore::AppendBatch consumes:
+//
+//   [uint32 sizes[set_hi - set_lo]]   cardinality per set, in id order
+//   [uint32 nodes[postings]]          concatenated members, in id order
+//   [footer]                          set-id range, node-id min/max,
+//                                     payload offset, posting count
+//
+// Footers are written after each chunk's payload (the file is
+// self-describing and recoverable by a backward footer walk) and mirrored
+// in memory, so scans can skip chunks by set-id range or by the node-id
+// [min, max] envelope without touching the disk. Reads use positional I/O
+// (pread), so concurrent chunk scans from pool workers need no locking.
+//
+// The file is created on first use and removed by the destructor; it is a
+// cache of evicted state, never a persistence format.
+
+#ifndef ISA_RRSET_SPILL_FILE_H_
+#define ISA_RRSET_SPILL_FILE_H_
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace isa::rrset {
+
+/// Thrown when the spill file cannot be created, written or read (ENOSPC
+/// while evicting is the realistic case). The TI driver converts it to
+/// Status::ResourceExhausted, exactly like a pool-task std::bad_alloc —
+/// disk exhaustion in the cold tier is the same recoverable condition as
+/// heap exhaustion in the hot one. Reads from pool workers are marshaled
+/// through ThreadPool::Run's exception barrier first.
+class SpillIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// How RrStore::SpillPrefix carves evicted sets into chunks and where the
+/// chunk file lives.
+struct SpillOptions {
+  /// Chunk file path. Empty = a fresh unique file under the system temp
+  /// directory (see MakeSpillPath).
+  std::string path;
+  /// Target payload bytes per chunk. Chunks close at the first set
+  /// boundary past the target, so one oversized RR set still lands in a
+  /// single (oversized) chunk. Smaller chunks skip better on scans;
+  /// larger chunks amortize the per-chunk read syscall.
+  uint64_t chunk_target_bytes = 4ull << 20;
+};
+
+/// A process-unique spill file path: `<dir>/isa-spill-<pid>-<seq>.bin`,
+/// with `dir` defaulting to std::filesystem::temp_directory_path().
+std::string MakeSpillPath(const std::string& dir = {});
+
+/// Append-only columnar chunk file (see file comment). Appends are
+/// single-writer; chunk reads are thread-safe (positional I/O) and may run
+/// concurrently with each other but not with an append.
+class SpillFile {
+ public:
+  /// One chunk's in-memory footer. set ids ascend across chunks and chunks
+  /// never overlap: chunk k covers exactly [set_lo, set_hi).
+  struct ChunkMeta {
+    uint64_t set_lo = 0;
+    uint64_t set_hi = 0;
+    /// Envelope of the member node ids in this chunk — scans for a node v
+    /// outside [node_min, node_max] skip the chunk without reading it.
+    graph::NodeId node_min = 0;
+    graph::NodeId node_max = 0;
+    /// Byte offset of the sizes column in the file.
+    uint64_t file_offset = 0;
+    /// Total members over the chunk's sets (the nodes column length).
+    uint64_t postings = 0;
+  };
+
+  /// Creates (truncates) the file at `path`. Throws SpillIoError on
+  /// failure — the spill tier is backing storage; running on without it
+  /// would silently break the memory budget.
+  explicit SpillFile(std::string path);
+  ~SpillFile();
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  /// Appends sets [set_lo, set_hi): `sizes[k]` members of set (set_lo + k)
+  /// taken in order from the concatenated `nodes`. Computes the node-id
+  /// envelope and writes payload + footer. Throws SpillIoError on I/O
+  /// failure (the chunk is then not recorded).
+  void AppendChunk(uint64_t set_lo, uint64_t set_hi,
+                   std::span<const uint32_t> sizes,
+                   std::span<const graph::NodeId> nodes);
+
+  /// Reads chunk `chunk` back into `sizes`/`nodes` (resized to fit) — the
+  /// exact columns AppendChunk wrote. Thread-safe against other reads.
+  /// Throws SpillIoError on I/O failure.
+  void ReadChunk(size_t chunk, std::vector<uint32_t>* sizes,
+                 std::vector<graph::NodeId>* nodes) const;
+
+  std::span<const ChunkMeta> chunks() const { return chunks_; }
+  size_t num_chunks() const { return chunks_.size(); }
+
+  /// Bytes written to disk (payload + footers) — the non-resident tier's
+  /// size for Table 3 accounting.
+  uint64_t bytes_on_disk() const { return bytes_; }
+
+  /// Resident bytes this object itself holds (the footer mirror) — charged
+  /// into RrStore::MemoryBytes so the accounting stays honest.
+  uint64_t MetadataBytes() const {
+    return chunks_.capacity() * sizeof(ChunkMeta);
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  uint64_t bytes_ = 0;
+  std::vector<ChunkMeta> chunks_;
+};
+
+}  // namespace isa::rrset
+
+#endif  // ISA_RRSET_SPILL_FILE_H_

@@ -1,0 +1,47 @@
+#include "rrset/tiered_store.h"
+
+#include <algorithm>
+
+#include "common/thread_pool.h"
+
+namespace isa::rrset {
+
+TieredRrStore::TieredRrStore(std::shared_ptr<RrStore> store,
+                             TieredStoreOptions options)
+    : store_(std::move(store)), options_(std::move(options)) {
+  spill_options_.chunk_target_bytes = options_.chunk_target_bytes;
+  if (enabled()) {
+    // Resolve the path once so every spill of this store appends to the
+    // same file.
+    spill_options_.path = MakeSpillPath(options_.spill_directory);
+  }
+}
+
+void TieredRrStore::MaybeSpill(uint64_t max_evictable, ThreadPool* pool) {
+  if (!enabled()) return;
+  const uint64_t budget = options_.rr_memory_budget_bytes;
+  const uint64_t resident = store_->MemoryBytes();
+  if (resident > budget && max_evictable > store_->first_resident_set()) {
+    // Walk the eviction frontier forward until the estimated reclaim
+    // covers the overshoot. Each evicted set frees its members (4 B per
+    // posting), its inverted-index posting (~4 B each in the CSR base)
+    // and its offset slot (8 B); the estimate errs low (capacity slack
+    // also falls at the exact-fit rebuild), which only means MaybeSpill
+    // occasionally evicts one chunk more at the next barrier.
+    const uint64_t need = resident - budget;
+    uint64_t new_first = store_->first_resident_set();
+    uint64_t freed = 0;
+    while (new_first < max_evictable && freed < need) {
+      freed += store_->PostingsInRange(new_first, new_first + 1) *
+                   (2 * sizeof(graph::NodeId)) +
+               sizeof(uint64_t);
+      ++new_first;
+    }
+    store_->SpillPrefix(new_first, spill_options_, pool);
+    ++spill_events_;
+  }
+  meter_.Set(store_->MemoryBytes());
+  meter_.SetSpilled(store_->SpilledBytes());
+}
+
+}  // namespace isa::rrset

@@ -267,6 +267,27 @@ TEST(MemoryMeterTest, SetOverrides) {
   EXPECT_EQ(m.peak_bytes(), 77u);
 }
 
+// Spilled (on-disk) bytes are tracked as a separate non-resident tier: a
+// spill that moves resident bytes to disk must LOWER the resident figure
+// without inflating its peak — that peak is the honest RSS-like number
+// Table 3 reports for budgeted runs.
+TEST(MemoryMeterTest, SpilledTierDoesNotFeedResidentPeak) {
+  MemoryMeter m;
+  m.Set(1000);
+  m.SetSpilled(0);
+  // Evict 600 bytes to disk: resident falls, spilled rises.
+  m.Set(400);
+  m.SetSpilled(600);
+  EXPECT_EQ(m.current_bytes(), 400u);
+  EXPECT_EQ(m.peak_bytes(), 1000u);
+  EXPECT_EQ(m.spilled_bytes(), 600u);
+  EXPECT_EQ(m.spilled_peak_bytes(), 600u);
+  m.SetSpilled(200);  // chunks reclaimed: spilled peak sticks
+  EXPECT_EQ(m.spilled_bytes(), 200u);
+  EXPECT_EQ(m.spilled_peak_bytes(), 600u);
+  EXPECT_NE(m.ToString().find("spilled"), std::string::npos);
+}
+
 TEST(MemoryMeterTest, ProcessResidentNonZeroOnLinux) {
   EXPECT_GT(ProcessResidentBytes(), 0u);
 }

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Markdown link lint: every relative link target must exist.
+
+Usage: check_markdown_links.py FILE_OR_DIR...
+
+Walks the given markdown files (directories are scanned for *.md),
+extracts inline links and images, and fails (exit 1) listing every
+relative target that does not resolve to an existing file or directory.
+External links (scheme://, mailto:) and pure in-page anchors (#...) are
+not checked — this lint keeps the repo's internal doc graph unbroken
+offline, it is not a web crawler.
+"""
+
+import os
+import re
+import sys
+
+# Inline links/images: [text](target) / ![alt](target). Reference-style
+# definitions: "[id]: target". Code spans are stripped first so example
+# snippets don't trip the lint.
+INLINE_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFDEF_RE = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+CODE_RE = re.compile(r"```.*?```|`[^`\n]*`", re.DOTALL)
+
+
+def collect_files(args):
+    files = []
+    for arg in args:
+        if os.path.isdir(arg):
+            for root, _, names in os.walk(arg):
+                files.extend(
+                    os.path.join(root, n) for n in names if n.endswith(".md"))
+        else:
+            files.append(arg)
+    return sorted(set(files))
+
+
+def check_file(path):
+    with open(path, encoding="utf-8") as f:
+        text = CODE_RE.sub("", f.read())
+    errors = []
+    targets = INLINE_RE.findall(text) + REFDEF_RE.findall(text)
+    for target in targets:
+        if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):  # scheme: URLs
+            continue
+        if target.startswith("#"):
+            continue
+        resolved = target.split("#", 1)[0]
+        if not resolved:
+            continue
+        base = os.path.dirname(path)
+        if not os.path.exists(os.path.join(base, resolved)):
+            errors.append((path, target))
+    return errors
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    files = collect_files(sys.argv[1:])
+    if not files:
+        print("check_markdown_links: no markdown files found", file=sys.stderr)
+        return 2
+    errors = []
+    for path in files:
+        errors.extend(check_file(path))
+    for path, target in errors:
+        print(f"{path}: broken link -> {target}", file=sys.stderr)
+    print(f"check_markdown_links: {len(files)} files, "
+          f"{len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

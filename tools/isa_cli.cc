@@ -10,6 +10,7 @@
 //   isa_cli --synthetic rmat --nodes 65536 --incentives superlinear --alpha 0.0001 --algorithm ti-csrm --window 5000 --seeds-csv out.csv
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -51,8 +52,15 @@ constexpr const char* kUsage = R"(isa_cli — incentivized social advertising ca
   --growth-delay R      rounds between an async growth trigger and
                         its adoption barrier (requires
                         --async-growth; must be >= 1)      [2]
+  --rr-memory-budget B  resident bytes per RR store before the oldest
+                        fully-adopted sets spill to disk (0 = keep
+                        everything resident; spilling never changes
+                        the computed allocation)             [0]
+  --spill-dir PATH      directory for spill chunk files (default:
+                        system temp dir; files are removed on exit)
   --seed S              master RNG seed (results are identical
-                        at any --threads for a fixed seed)  [42]
+                        at any --threads and any --rr-memory-budget
+                        for a fixed seed)                   [42]
   --seeds-csv PATH      write the chosen (ad, seed, incentive) rows as CSV
   --validate            re-estimate revenue by Monte-Carlo after selection
 )";
@@ -69,8 +77,9 @@ int main(int argc, char** argv) {
       argc, argv,
       {"graph", "synthetic", "nodes", "ads", "budget", "cpe", "incentives",
        "alpha", "algorithm", "model", "epsilon", "window", "theta-cap",
-       "threads", "share-samples", "async-growth", "growth-delay", "seed",
-       "seeds-csv", "validate", "help"});
+       "threads", "share-samples", "async-growth", "growth-delay",
+       "rr-memory-budget", "spill-dir", "seed", "seeds-csv", "validate",
+       "help"});
   if (!flags_result.ok()) {
     std::fputs(kUsage, stderr);
     return Fail(flags_result.status());
@@ -108,6 +117,30 @@ int main(int argc, char** argv) {
                  "note: --share-samples makes shared-store ads grow "
                  "synchronously; --async-growth only overlaps ads with "
                  "private stores\n");
+  }
+
+  // Spill-tier flag validation: a negative budget is a typo, and a spill
+  // directory without a budget would silently do nothing.
+  const int64_t rr_budget =
+      flags.GetInt("rr-memory-budget", 0).value_or(0);
+  if (rr_budget < 0) {
+    return Fail(isa::Status::InvalidArgument(
+        "--rr-memory-budget must be >= 0 bytes (0 disables spilling)"));
+  }
+  if (flags.Has("spill-dir") && rr_budget == 0) {
+    return Fail(isa::Status::InvalidArgument(
+        "--spill-dir only applies with a memory budget; add "
+        "--rr-memory-budget or drop --spill-dir"));
+  }
+  const std::string spill_dir = flags.GetString("spill-dir", "").value_or("");
+  if (!spill_dir.empty()) {
+    // Catch the typo here, not minutes later when the first spill barrier
+    // reports a misleading ResourceExhausted from deep inside the run.
+    std::error_code ec;
+    if (!std::filesystem::is_directory(spill_dir, ec)) {
+      return Fail(isa::Status::InvalidArgument(
+          "--spill-dir is not an existing directory: " + spill_dir));
+    }
   }
 
   const uint64_t seed =
@@ -200,6 +233,8 @@ int main(int argc, char** argv) {
       flags.GetBool("async-growth", false).value_or(false);
   options.growth_delay_rounds =
       static_cast<uint32_t>(flags.GetInt("growth-delay", 2).value_or(2));
+  options.rr_memory_budget_bytes = static_cast<uint64_t>(rr_budget);
+  options.spill_directory = spill_dir;
   const std::string prop = flags.GetString("model", "ic").value_or("ic");
   if (prop == "lt") {
     options.propagation = isa::rrset::DiffusionModel::kLinearThreshold;
@@ -222,9 +257,15 @@ int main(int argc, char** argv) {
   const isa::core::TiResult& result = run.value();
 
   // ---- Report. ----
-  isa::TableWriter table({"ad", "seeds", "revenue", "incentives", "payment",
-                          "budget", "theta", "growth", "cap hits", "pilot",
-                          "RR memory"});
+  const bool spilling = options.rr_memory_budget_bytes > 0;
+  std::vector<std::string> columns = {
+      "ad",     "seeds",  "revenue", "incentives", "payment", "budget",
+      "theta",  "growth", "cap hits", "pilot",     "RR memory"};
+  if (spilling) {
+    columns.insert(columns.end(),
+                   {"spilled", "chunks", "scans", "resident peak"});
+  }
+  isa::TableWriter table(columns);
   for (uint32_t j = 0; j < h; ++j) {
     const auto& st = result.ad_stats[j];
     table.AddCell(uint64_t{j});
@@ -238,6 +279,12 @@ int main(int argc, char** argv) {
     table.AddCell(st.theta_cap_hits);
     table.AddCell(std::string(st.pilot_converged ? "ok" : "weak"));
     table.AddCell(isa::HumanBytes(st.rr_memory_bytes));
+    if (spilling) {
+      table.AddCell(isa::HumanBytes(st.spilled_bytes));
+      table.AddCell(st.spill_chunks);
+      table.AddCell(st.scan_reloads);
+      table.AddCell(isa::HumanBytes(st.rr_resident_peak_bytes));
+    }
     if (auto s = table.EndRow(); !s.ok()) return Fail(s);
   }
   table.Print(std::cout);
@@ -251,6 +298,14 @@ int main(int argc, char** argv) {
               (unsigned long long)result.total_growth_events,
               result.ads_growth_engaged, result.ads_growth_idle,
               (unsigned long long)result.total_theta_cap_hits);
+  if (spilling) {
+    std::printf("spill tier: budget %s per store, %s spilled in %llu "
+                "chunks, %llu chunk scans\n",
+                isa::HumanBytes(options.rr_memory_budget_bytes).c_str(),
+                isa::HumanBytes(result.total_spilled_bytes).c_str(),
+                (unsigned long long)result.total_spill_chunks,
+                (unsigned long long)result.total_scan_reloads);
+  }
 
   const std::string csv =
       flags.GetString("seeds-csv", "").value_or("");
