@@ -17,8 +17,11 @@
 // thread). Every budgeted run must reproduce the unbudgeted allocation,
 // revenue and θ bit for bit — spilling moves bytes, never results — and
 // the bench EXITS NON-ZERO on any mismatch (CI runs it as a gate, like the
-// fig5 determinism gate). The resident-vs-spill rows land in
-// BENCH_table3.json under "budget_rows".
+// fig5 determinism gate) or when the tight 25% row skipped no chunks
+// (chunks_skipped == 0 would mean the per-chunk envelope/Bloom filters
+// stopped working). The resident-vs-spill rows land in BENCH_table3.json
+// under "budget_rows" with the chunks_read/chunks_skipped split and the
+// run's wall-clock.
 
 #include <cstdio>
 #include <iostream>
@@ -140,6 +143,7 @@ int main() {
   std::printf("\n=== Budget sweep: TI-CSRM resident vs spill (DBLP*, h=5) "
               "===\n\n");
   bool budget_mismatch = false;
+  bool filters_dead = false;  // 25% row skipped nothing — see gate below
   std::vector<std::string> budget_rows;
   {
     auto ds = isa::bench::MustValue(
@@ -158,6 +162,10 @@ int main() {
     auto ti = isa::bench::QualityTiOptions();
     ti.theta_cap = 80'000;
     ti.window = 5000;
+    // Small chunks give the per-chunk envelope/Bloom filters something to
+    // skip at bench scale (the 4 MiB default would put the whole cold
+    // tier in one or two chunks); results are chunk-size independent.
+    ti.spill_chunk_bytes = 128ull << 10;
     auto reference = isa::core::RunTiCsrm(*setup.instance, ti);
     isa::bench::Check(reference.status(), "TI-CSRM unbudgeted");
     // Per-store budget base: the largest charged per-ad footprint (the
@@ -170,7 +178,7 @@ int main() {
 
     isa::TableWriter sweep({"budget/store", "threads", "resident final",
                             "resident peak", "spilled", "chunks", "scans",
-                            "match"});
+                            "read", "skipped", "seconds", "match"});
     auto add_row = [&](uint64_t budget, uint32_t threads,
                        const isa::core::TiResult& r, bool match) {
       sweep.AddCell(budget == 0 ? std::string("unbudgeted")
@@ -182,6 +190,9 @@ int main() {
       sweep.AddCell(isa::HumanBytes(r.total_spilled_bytes));
       sweep.AddCell(r.total_spill_chunks);
       sweep.AddCell(r.total_scan_reloads);
+      sweep.AddCell(r.total_chunks_read);
+      sweep.AddCell(r.total_chunks_skipped);
+      sweep.AddCell(r.elapsed_seconds, 2);
       sweep.AddCell(std::string(match ? "yes" : "MISMATCH"));
       isa::bench::Check(sweep.EndRow(), "sweep row");
       budget_rows.push_back(
@@ -193,6 +204,9 @@ int main() {
               .Add("spilled_bytes", r.total_spilled_bytes)
               .Add("spill_chunks", r.total_spill_chunks)
               .Add("scan_reloads", r.total_scan_reloads)
+              .Add("chunks_read", r.total_chunks_read)
+              .Add("chunks_skipped", r.total_chunks_skipped)
+              .Add("elapsed_seconds", r.elapsed_seconds)
               .Add("seeds", r.total_seeds)
               .Add("matches_unbudgeted", match)
               .str());
@@ -215,6 +229,12 @@ int main() {
       const bool match =
           SameComputedResult(reference.value(), budgeted.value());
       if (!match) budget_mismatch = true;
+      // The tight-budget row must show the chunk filters earning their
+      // keep: plenty spilled, and at least one chunk skipped without I/O.
+      if (run.fraction == 0.25 &&
+          budgeted.value().total_chunks_skipped == 0) {
+        filters_dead = true;
+      }
       add_row(budgeted_ti.rr_memory_budget_bytes, run.threads,
               budgeted.value(), match);
       std::fprintf(stderr, "  [budget %.0f%% threads=%u] done\n",
@@ -229,6 +249,7 @@ int main() {
           .Add("bench", "table3_memory")
           .Add("scale", scale)
           .Add("budget_determinism_ok", !budget_mismatch)
+          .Add("chunk_filters_ok", !filters_dead)
           .AddRaw("rows", isa::bench::JsonArray(json_rows))
           .AddRaw("budget_rows", isa::bench::JsonArray(budget_rows))
           .str());
@@ -236,6 +257,13 @@ int main() {
     std::fprintf(stderr,
                  "[bench] FAIL: budgeted TI-CSRM diverged from the "
                  "unbudgeted run — spilling must never change results\n");
+    return 2;
+  }
+  if (filters_dead) {
+    std::fprintf(stderr,
+                 "[bench] FAIL: the 25%%-budget run skipped no cold "
+                 "chunks — the envelope/Bloom chunk filters are not "
+                 "engaging\n");
     return 2;
   }
   return 0;

@@ -1,0 +1,294 @@
+#include "common/async_io.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+#ifdef ISA_HAVE_IO_URING
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#endif
+
+namespace isa {
+
+namespace {
+
+std::atomic<AsyncIoBackend> g_backend_override{AsyncIoBackend::kAuto};
+
+// pread until `len` bytes or a terminal condition; Wait's error contract.
+int PreadFull(int fd, uint64_t offset, char* buf, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::pread(fd, buf, len, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno;
+    }
+    if (n == 0) return -1;  // EOF before the requested length
+    buf += n;
+    offset += static_cast<uint64_t>(n);
+    len -= static_cast<size_t>(n);
+  }
+  return 0;
+}
+
+}  // namespace
+
+void SetAsyncIoBackendForTest(AsyncIoBackend backend) {
+  g_backend_override.store(backend, std::memory_order_relaxed);
+}
+
+#ifdef ISA_HAVE_IO_URING
+
+bool IoUringCompiledIn() { return true; }
+
+// Raw-syscall ring: 2 SQ entries (one read outstanding, power-of-two ring),
+// mmapped SQ/CQ rings + SQE array. The container has no liburing, so the
+// setup/submit/complete protocol is spelled out here; see
+// Documentation/io_uring in the kernel tree for the memory-ordering rules
+// (release on tail publishes, acquire on head/tail consumes).
+struct AsyncFileReader::Uring {
+  int ring_fd = -1;
+  io_uring_params params{};
+  void* sq_ptr = nullptr;
+  size_t sq_map_len = 0;
+  void* cq_ptr = nullptr;
+  size_t cq_map_len = 0;
+  io_uring_sqe* sqes = nullptr;
+  size_t sqes_map_len = 0;
+
+  unsigned* sq_tail = nullptr;
+  unsigned* sq_mask = nullptr;
+  unsigned* sq_array = nullptr;
+  unsigned* cq_head = nullptr;
+  unsigned* cq_tail = nullptr;
+  unsigned* cq_mask = nullptr;
+  io_uring_cqe* cqes = nullptr;
+
+  ~Uring() {
+    if (sqes != nullptr) ::munmap(sqes, sqes_map_len);
+    if (cq_ptr != nullptr && cq_ptr != sq_ptr) ::munmap(cq_ptr, cq_map_len);
+    if (sq_ptr != nullptr) ::munmap(sq_ptr, sq_map_len);
+    if (ring_fd >= 0) ::close(ring_fd);
+  }
+
+  static std::unique_ptr<Uring> Create() {
+    auto u = std::make_unique<Uring>();
+    u->ring_fd = static_cast<int>(
+        ::syscall(__NR_io_uring_setup, 2u, &u->params));
+    if (u->ring_fd < 0) return nullptr;
+
+    const io_uring_params& p = u->params;
+    u->sq_map_len = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+    u->cq_map_len = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+    if (p.features & IORING_FEAT_SINGLE_MMAP) {
+      u->sq_map_len = u->cq_map_len = std::max(u->sq_map_len, u->cq_map_len);
+    }
+    u->sq_ptr = ::mmap(nullptr, u->sq_map_len, PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_POPULATE, u->ring_fd,
+                       IORING_OFF_SQ_RING);
+    if (u->sq_ptr == MAP_FAILED) {
+      u->sq_ptr = nullptr;
+      return nullptr;
+    }
+    if (p.features & IORING_FEAT_SINGLE_MMAP) {
+      u->cq_ptr = u->sq_ptr;
+    } else {
+      u->cq_ptr = ::mmap(nullptr, u->cq_map_len, PROT_READ | PROT_WRITE,
+                         MAP_SHARED | MAP_POPULATE, u->ring_fd,
+                         IORING_OFF_CQ_RING);
+      if (u->cq_ptr == MAP_FAILED) {
+        u->cq_ptr = nullptr;
+        return nullptr;
+      }
+    }
+    u->sqes_map_len = p.sq_entries * sizeof(io_uring_sqe);
+    u->sqes = static_cast<io_uring_sqe*>(
+        ::mmap(nullptr, u->sqes_map_len, PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_POPULATE, u->ring_fd, IORING_OFF_SQES));
+    if (u->sqes == MAP_FAILED) {
+      u->sqes = nullptr;
+      return nullptr;
+    }
+
+    char* sq = static_cast<char*>(u->sq_ptr);
+    u->sq_tail = reinterpret_cast<unsigned*>(sq + p.sq_off.tail);
+    u->sq_mask = reinterpret_cast<unsigned*>(sq + p.sq_off.ring_mask);
+    u->sq_array = reinterpret_cast<unsigned*>(sq + p.sq_off.array);
+    char* cq = static_cast<char*>(u->cq_ptr);
+    u->cq_head = reinterpret_cast<unsigned*>(cq + p.cq_off.head);
+    u->cq_tail = reinterpret_cast<unsigned*>(cq + p.cq_off.tail);
+    u->cq_mask = reinterpret_cast<unsigned*>(cq + p.cq_off.ring_mask);
+    u->cqes = reinterpret_cast<io_uring_cqe*>(cq + p.cq_off.cqes);
+    return u;
+  }
+};
+
+namespace {
+
+bool ProbeIoUring() {
+  if (std::getenv("ISA_DISABLE_IO_URING") != nullptr) return false;
+  io_uring_params params{};
+  const int fd =
+      static_cast<int>(::syscall(__NR_io_uring_setup, 2u, &params));
+  if (fd < 0) return false;
+  ::close(fd);
+  return true;
+}
+
+}  // namespace
+
+bool IoUringAvailable() {
+  static const bool available = ProbeIoUring();
+  return available;
+}
+
+bool AsyncFileReader::UringStart() {
+  Uring& u = *ring_;
+  const unsigned tail = *u.sq_tail;  // single producer: plain read is safe
+  const unsigned idx = tail & *u.sq_mask;
+  io_uring_sqe& sqe = u.sqes[idx];
+  std::memset(&sqe, 0, sizeof(sqe));
+  sqe.opcode = IORING_OP_READ;
+  sqe.fd = fd_;
+  sqe.addr = reinterpret_cast<uint64_t>(buf_);
+  sqe.len = static_cast<uint32_t>(len_);
+  sqe.off = offset_;
+  u.sq_array[idx] = idx;
+  __atomic_store_n(u.sq_tail, tail + 1, __ATOMIC_RELEASE);
+  while (true) {
+    const long ret = ::syscall(__NR_io_uring_enter, ring_->ring_fd, 1u, 0u,
+                               0u, nullptr, 0u);
+    if (ret >= 0) return true;
+    if (errno == EINTR) continue;
+    return false;  // submission failed; Wait falls back to a sync pread
+  }
+}
+
+int AsyncFileReader::UringWait() {
+  Uring& u = *ring_;
+  while (true) {
+    const unsigned head = *u.cq_head;  // single consumer
+    if (__atomic_load_n(u.cq_tail, __ATOMIC_ACQUIRE) == head) {
+      const long ret = ::syscall(__NR_io_uring_enter, u.ring_fd, 0u, 1u,
+                                 IORING_ENTER_GETEVENTS, nullptr, 0u);
+      if (ret < 0 && errno != EINTR && errno != EAGAIN) return errno;
+      continue;
+    }
+    const io_uring_cqe& cqe = u.cqes[head & *u.cq_mask];
+    const int32_t res = cqe.res;
+    __atomic_store_n(u.cq_head, head + 1, __ATOMIC_RELEASE);
+    if (res < 0) {
+      if (res == -EINTR || res == -EAGAIN) {
+        return SyncRead();  // retry the whole request synchronously
+      }
+      return -res;
+    }
+    if (res == 0) return -1;  // EOF
+    if (static_cast<size_t>(res) >= len_) return 0;
+    // Short read: finish the remainder synchronously (same EOF/errno
+    // contract either way).
+    buf_ += res;
+    offset_ += static_cast<uint64_t>(res);
+    len_ -= static_cast<size_t>(res);
+    return SyncRead();
+  }
+}
+
+#else  // !ISA_HAVE_IO_URING
+
+struct AsyncFileReader::Uring {};
+
+bool IoUringCompiledIn() { return false; }
+bool IoUringAvailable() { return false; }
+bool AsyncFileReader::UringStart() { return false; }
+int AsyncFileReader::UringWait() { return SyncRead(); }
+
+#endif  // ISA_HAVE_IO_URING
+
+AsyncFileReader::AsyncFileReader(ThreadPool* pool, AsyncIoBackend backend)
+    : pool_(pool) {
+  const AsyncIoBackend forced =
+      g_backend_override.load(std::memory_order_relaxed);
+  if (forced != AsyncIoBackend::kAuto) backend = forced;
+  if (backend == AsyncIoBackend::kAuto) {
+    backend = IoUringAvailable() ? AsyncIoBackend::kIoUring
+              : pool_ != nullptr ? AsyncIoBackend::kPoolPread
+                                 : AsyncIoBackend::kSync;
+  }
+  if (backend == AsyncIoBackend::kIoUring && IoUringAvailable()) {
+#ifdef ISA_HAVE_IO_URING
+    ring_ = Uring::Create();
+#endif
+  }
+  if (ring_ != nullptr) {
+    backend_ = AsyncIoBackend::kIoUring;
+  } else if (backend != AsyncIoBackend::kSync && pool_ != nullptr) {
+    backend_ = AsyncIoBackend::kPoolPread;
+  } else {
+    backend_ = AsyncIoBackend::kSync;
+  }
+}
+
+AsyncFileReader::~AsyncFileReader() {
+  // The kernel (or a pool worker) may still be writing into buf_; drain
+  // before the buffers die. Errors are irrelevant on this path.
+  if (in_flight_) static_cast<void>(Wait());
+}
+
+const char* AsyncFileReader::backend_name() const {
+  switch (backend_) {
+    case AsyncIoBackend::kIoUring:
+      return "io_uring";
+    case AsyncIoBackend::kPoolPread:
+      return "pool-pread";
+    default:
+      return "sync";
+  }
+}
+
+int AsyncFileReader::SyncRead() { return PreadFull(fd_, offset_, buf_, len_); }
+
+void AsyncFileReader::Start(int fd, uint64_t offset, void* buf, size_t len) {
+  ISA_CHECK(!in_flight_);
+  fd_ = fd;
+  offset_ = offset;
+  buf_ = static_cast<char*>(buf);
+  len_ = len;
+  in_flight_ = true;
+  uring_submitted_ = false;
+  switch (backend_) {
+    case AsyncIoBackend::kIoUring:
+      uring_submitted_ = UringStart();
+      break;
+    case AsyncIoBackend::kPoolPread:
+      task_ = pool_->Launch(1, [this](uint64_t) {
+        pool_result_ = PreadFull(fd_, offset_, buf_, len_);
+      });
+      break;
+    default:
+      break;  // sync: Wait performs the read
+  }
+}
+
+int AsyncFileReader::Wait() {
+  ISA_CHECK(in_flight_);
+  in_flight_ = false;
+  switch (backend_) {
+    case AsyncIoBackend::kIoUring:
+      return uring_submitted_ ? UringWait() : SyncRead();
+    case AsyncIoBackend::kPoolPread:
+      task_.Wait();  // publishes pool_result_ and the buffer bytes
+      return pool_result_;
+    default:
+      return SyncRead();
+  }
+}
+
+}  // namespace isa

@@ -1,0 +1,114 @@
+// AsyncFileReader — one-outstanding-read positional file reader, the I/O
+// engine behind the spill tier's chunk prefetch pipeline (see
+// rrset/spill_file.h).
+//
+// The pipeline needs exactly one read in flight: while chunk k is being
+// applied, chunk k+1's bytes stream into the other half of a double
+// buffer. Three backends provide that overlap, best-first:
+//
+//   io_uring    — a 2-entry ring per reader, raw syscalls (no liburing
+//                 dependency); compiled in when <linux/io_uring.h> exists
+//                 (ISA_HAVE_IO_URING) and used when a runtime probe shows
+//                 the kernel supports it and ISA_DISABLE_IO_URING is unset.
+//   pool pread  — the read runs as a ThreadPool::Launch task; the pool's
+//                 Wait barrier publishes the buffer to the consumer.
+//   sync pread  — no overlap; Start records the request, Wait performs it
+//                 inline. The fallback of last resort and the reference
+//                 behavior: all backends read the same bytes, so results
+//                 are bit-identical whichever one serves a run.
+//
+// Error model: Wait returns 0 on success, a positive errno on failure, or
+// -1 for EOF before the requested length. Callers (the spill layer) turn
+// nonzero into SpillIoError; this class never throws from the I/O path.
+
+#ifndef ISA_COMMON_ASYNC_IO_H_
+#define ISA_COMMON_ASYNC_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/thread_pool.h"
+
+namespace isa {
+
+/// Backend selection. kAuto resolves to the best available backend at
+/// construction (io_uring > pool pread > sync; a reader constructed
+/// without a pool resolves kPoolPread down to kSync).
+enum class AsyncIoBackend {
+  kAuto,
+  kIoUring,
+  kPoolPread,
+  kSync,
+};
+
+/// True when io_uring support is compiled in AND a runtime probe (cached
+/// after the first call) succeeds AND ISA_DISABLE_IO_URING is not set in
+/// the environment. When false, kAuto and kIoUring fall back to the pool /
+/// sync backends.
+bool IoUringAvailable();
+
+/// True when the translation unit was built with ISA_HAVE_IO_URING
+/// (CMake feature detect) — availability before the runtime probe.
+bool IoUringCompiledIn();
+
+/// Process-wide backend override for tests (kAuto restores the default).
+/// Applies to readers constructed AFTER the call; not thread-safe against
+/// concurrent reader construction.
+void SetAsyncIoBackendForTest(AsyncIoBackend backend);
+
+/// One-outstanding-read reader (see file comment). Not thread-safe: one
+/// owner starts and waits; the pool backend's internal task is
+/// synchronized by TaskGroup::Wait's barrier.
+class AsyncFileReader {
+ public:
+  /// `pool` may be null (kPoolPread then degrades to kSync).
+  explicit AsyncFileReader(ThreadPool* pool,
+                           AsyncIoBackend backend = AsyncIoBackend::kAuto);
+  ~AsyncFileReader();
+  AsyncFileReader(const AsyncFileReader&) = delete;
+  AsyncFileReader& operator=(const AsyncFileReader&) = delete;
+
+  /// Starts a read of exactly `len` bytes at `offset` into `buf`. At most
+  /// one read may be outstanding; `buf` and `fd` must stay valid until the
+  /// matching Wait returns. Never fails — submission errors are surfaced
+  /// by Wait (which completes the read synchronously where possible).
+  void Start(int fd, uint64_t offset, void* buf, size_t len);
+
+  /// Blocks until the outstanding read finished. Returns 0 on success, a
+  /// positive errno, or -1 for EOF before `len` bytes. A short read that
+  /// is not EOF is completed by further reads internally.
+  int Wait();
+
+  bool in_flight() const { return in_flight_; }
+
+  /// Resolved backend, for diagnostics/tests: "io_uring", "pool-pread" or
+  /// "sync".
+  const char* backend_name() const;
+
+ private:
+  struct Uring;  // raw-syscall ring state; null unless io_uring is active
+
+  // pread-until-done of the recorded request; returns the Wait error code.
+  int SyncRead();
+  bool UringStart();  // false = submission failed, Wait falls back to sync
+  int UringWait();
+
+  ThreadPool* pool_;
+  AsyncIoBackend backend_ = AsyncIoBackend::kSync;
+  std::unique_ptr<Uring> ring_;
+
+  bool in_flight_ = false;
+  bool uring_submitted_ = false;
+  int fd_ = -1;
+  uint64_t offset_ = 0;
+  char* buf_ = nullptr;
+  size_t len_ = 0;
+
+  ThreadPool::TaskGroup task_;  // pool backend
+  int pool_result_ = 0;         // written by the task, read after Wait
+};
+
+}  // namespace isa
+
+#endif  // ISA_COMMON_ASYNC_IO_H_

@@ -257,6 +257,10 @@ void AdvertiserEngine::MarkNodeTaken(graph::NodeId v) {
   if (candidate_ == v) candidate_fresh_ = false;
 }
 
+void AdvertiserEngine::PrefetchCommit(graph::NodeId v) {
+  collection_.PrefetchRemoveCoveredBy(v, options_.sampler.pool);
+}
+
 void AdvertiserEngine::CommitSeed(graph::NodeId v) {
   seeds_.push_back(v);
   seeding_cost_ += instance_.incentive(ad_, v);

@@ -168,6 +168,7 @@ Result<TiResult> RunTiGreedy(const RmInstance& instance,
         rrset::TieredStoreOptions to;
         to.rr_memory_budget_bytes = options.rr_memory_budget_bytes;
         to.spill_directory = options.spill_directory;
+        to.chunk_target_bytes = options.spill_chunk_bytes;
         StoreSpillGroup g;
         g.tier = std::make_unique<rrset::TieredRrStore>(
             ads[group.front()]->collection().store(), to);
@@ -221,6 +222,8 @@ Result<TiResult> RunTiGreedy(const RmInstance& instance,
       st.spilled_bytes = store->SpilledBytes();
       st.spill_chunks = store->SpillChunks();
       st.scan_reloads = store->scan_reloads();
+      st.chunks_read = store->chunks_read();
+      st.chunks_skipped = store->chunks_skipped();
       for (const StoreSpillGroup& g : spill_groups) {
         if (g.tier->store().get() == store) {
           st.rr_resident_peak_bytes = g.tier->meter().peak_bytes();
@@ -245,6 +248,8 @@ Result<TiResult> RunTiGreedy(const RmInstance& instance,
     result.total_spilled_bytes += st.spilled_bytes;
     result.total_spill_chunks += st.spill_chunks;
     result.total_scan_reloads += st.scan_reloads;
+    result.total_chunks_read += st.chunks_read;
+    result.total_chunks_skipped += st.chunks_skipped;
     result.total_growth_events += st.sample_growth_events;
     result.total_theta_cap_hits += st.theta_cap_hits;
     if (st.sample_growth_events > 0) {

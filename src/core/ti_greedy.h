@@ -145,6 +145,11 @@ struct TiOptions {
   /// Directory for spill chunk files (empty = the system temp directory).
   /// Files are removed when the run's stores are destroyed.
   std::string spill_directory;
+  /// Chunk payload target for spill files (see SpillOptions). Smaller
+  /// chunks give the per-chunk Bloom/envelope filters more to skip;
+  /// larger chunks amortize the per-chunk read. Never affects computed
+  /// results, only I/O granularity and the chunk counters.
+  uint64_t spill_chunk_bytes = 4ull << 20;
   /// Safety cap on total selected seeds (0 = unlimited).
   uint64_t max_seeds = 0;
   /// Nodes that may not be selected as seeds for any ad (e.g. users who
@@ -175,13 +180,17 @@ struct TiAdStats {
   uint64_t rr_index_legacy_bytes = 0;
   /// Out-of-core tier (rr_memory_budget_bytes > 0; charged to the first
   /// ad using the store, like rr_memory_bytes): bytes of the store
-  /// evicted to disk, chunks in its spill file, chunk reads served by
-  /// coverage-removal scans, and the store's peak RESIDENT bytes as
-  /// observed at the spill barrier checks (0 when unbudgeted — use
-  /// rr_memory_bytes, which is then also the final resident figure).
+  /// evicted to disk, chunks in its spill file, cold-tier scan passes
+  /// (commits that had to consult the cold tier), chunks actually fetched
+  /// from disk vs skipped by the footer envelope/Bloom filters across
+  /// those passes, and the store's peak RESIDENT bytes as observed at the
+  /// spill barrier checks (0 when unbudgeted — use rr_memory_bytes,
+  /// which is then also the final resident figure).
   uint64_t spilled_bytes = 0;
   uint64_t spill_chunks = 0;
   uint64_t scan_reloads = 0;
+  uint64_t chunks_read = 0;
+  uint64_t chunks_skipped = 0;
   uint64_t rr_resident_peak_bytes = 0;
   /// θ-schedule observability (see rrset/sample_sizer.h). Growth engaged =
   /// sample_growth_events > 0; idle Eq. 10 revisions mean the schedule was
@@ -212,6 +221,8 @@ struct TiResult {
   uint64_t total_spilled_bytes = 0;
   uint64_t total_spill_chunks = 0;
   uint64_t total_scan_reloads = 0;
+  uint64_t total_chunks_read = 0;
+  uint64_t total_chunks_skipped = 0;
   /// Aggregate θ-growth observability: total adoptions, how many ads ever
   /// grew their sample past θ(1), and how many never did.
   uint64_t total_growth_events = 0;

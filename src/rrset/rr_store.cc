@@ -221,7 +221,8 @@ void RrStore::SpillPrefix(uint64_t new_first, const SpillOptions& options,
   if (new_first <= first_resident_) return;
   if (spill_ == nullptr) {
     spill_ = std::make_unique<SpillFile>(
-        options.path.empty() ? MakeSpillPath() : options.path);
+        options.path.empty() ? MakeSpillPath() : options.path,
+        options.bloom_bits_per_key);
   }
   // Carve [first_resident_, new_first) into chunks of ~chunk_target_bytes
   // of member payload. Sets are contiguous in rr_nodes_, so each chunk's
@@ -284,90 +285,77 @@ void RrStore::DropPrefix(uint64_t new_first, ThreadPool* pool) {
   RebuildIndex(pool);
 }
 
-void RrStore::ForEachSpilledSetContaining(
-    graph::NodeId v, uint64_t max_id, ThreadPool* pool,
-    const std::function<bool(uint64_t)>& candidate,
-    const std::function<void(uint64_t, std::span<const graph::NodeId>)>& fn)
-    const {
-  if (spill_ == nullptr) return;
+RrStore::ColdScan::ColdScan() = default;
+RrStore::ColdScan::~ColdScan() = default;
+
+std::unique_ptr<RrStore::ColdScan> RrStore::StartColdScan(
+    graph::NodeId v, uint64_t max_id, ThreadPool* pool) const {
+  if (spill_ == nullptr) return nullptr;
   const std::span<const SpillFile::ChunkMeta> chunks = spill_->chunks();
   std::vector<uint32_t> cand;
+  uint64_t considered = 0;
   for (uint32_t i = 0; i < chunks.size(); ++i) {
-    const SpillFile::ChunkMeta& m = chunks[i];
-    if (m.set_lo >= max_id) break;  // chunk ranges ascend
-    if (m.postings == 0 || v < m.node_min || v > m.node_max) continue;
+    if (chunks[i].set_lo >= max_id) break;  // chunk ranges ascend
+    ++considered;
+    // Footer-only skip test: set-range overlap established above, then
+    // node envelope + Bloom filter. No disk I/O on this path.
+    if (!spill_->ChunkMightContain(i, v)) continue;
     cand.push_back(i);
   }
-  if (cand.empty()) return;
-  scan_reloads_ += cand.size();
+  if (considered == 0) return nullptr;
+  ++scan_reloads_;
+  chunks_read_ += cand.size();
+  chunks_skipped_ += considered - cand.size();
+  if (cand.empty()) return nullptr;
+  auto scan = std::make_unique<ColdScan>();
+  scan->node = v;
+  scan->max_id = max_id;
+  // The cursor issues the first chunk's read here; the bytes stream in
+  // while the caller runs whatever compute it wants to overlap.
+  scan->cursor =
+      std::make_unique<SpillChunkCursor>(*spill_, std::move(cand), pool);
+  return scan;
+}
 
-  // Walks one chunk's sets in id order; emit(id, members) for every
-  // candidate set containing v (members point into `nodes` — valid only
-  // during the call).
-  auto walk_chunk = [&](uint64_t k, std::vector<uint32_t>& sizes,
-                        std::vector<graph::NodeId>& nodes, auto&& emit) {
-    const SpillFile::ChunkMeta& m = chunks[cand[k]];
-    spill_->ReadChunk(cand[k], &sizes, &nodes);
+void RrStore::FinishColdScan(
+    ColdScan& scan, const std::function<bool(uint64_t)>& candidate,
+    const std::function<void(uint64_t, std::span<const graph::NodeId>)>& fn)
+    const {
+  const std::span<const SpillFile::ChunkMeta> chunks = spill_->chunks();
+  SpillChunkCursor& cursor = *scan.cursor;
+  while (cursor.Next()) {  // chunk k+1 prefetches while k is applied below
+    const SpillFile::ChunkMeta& m = chunks[cursor.chunk()];
+    const std::span<const uint32_t> sizes = cursor.sizes();
+    const std::span<const graph::NodeId> nodes = cursor.nodes();
     uint64_t off = 0;
     for (uint64_t s = 0; s < sizes.size(); ++s) {
       const uint64_t id = m.set_lo + s;
       const uint32_t size = sizes[s];
-      if (id >= max_id) break;
-      // The candidate filter runs before the membership scan and any
-      // copy: among old spilled sets most are already covered, and they
-      // must cost nothing beyond the chunk read itself.
+      if (id >= scan.max_id) break;
+      // The candidate filter runs before the membership scan: among old
+      // spilled sets most are already covered, and they must cost nothing
+      // beyond the chunk read itself.
       if (candidate == nullptr || candidate(id)) {
         const graph::NodeId* members = nodes.data() + off;
         for (uint32_t i = 0; i < size; ++i) {
-          if (members[i] == v) {
-            emit(id, std::span<const graph::NodeId>(members, size));
+          if (members[i] == scan.node) {
+            fn(id, std::span<const graph::NodeId>(members, size));
             break;
           }
         }
       }
       off += size;
     }
-  };
-
-  if (pool != nullptr && cand.size() > 1) {
-    // One worker reads + filters one chunk; matches (id + a copy of the
-    // members — bounded by the candidate filter) land in per-chunk slots.
-    // fn runs serially afterwards in ascending chunk (= set id) order, so
-    // the observable call sequence is identical at any worker count.
-    struct Matches {
-      std::vector<uint64_t> ids;
-      std::vector<uint64_t> ends;  // prefix ends into `members`
-      std::vector<graph::NodeId> members;
-    };
-    std::vector<Matches> found(cand.size());
-    pool->Run(cand.size(), [&](uint64_t k) {
-      std::vector<uint32_t> sizes;
-      std::vector<graph::NodeId> nodes;
-      Matches& out = found[k];
-      walk_chunk(k, sizes, nodes,
-                 [&](uint64_t id, std::span<const graph::NodeId> members) {
-                   out.ids.push_back(id);
-                   out.members.insert(out.members.end(), members.begin(),
-                                      members.end());
-                   out.ends.push_back(out.members.size());
-                 });
-    });
-    for (const Matches& m : found) {
-      uint64_t begin = 0;
-      for (size_t i = 0; i < m.ids.size(); ++i) {
-        fn(m.ids[i], std::span<const graph::NodeId>(m.members.data() + begin,
-                                                    m.ends[i] - begin));
-        begin = m.ends[i];
-      }
-    }
-  } else {
-    // Serial path streams fn straight off the chunk buffer — no copies.
-    std::vector<uint32_t> sizes;
-    std::vector<graph::NodeId> nodes;
-    for (uint64_t k = 0; k < cand.size(); ++k) {
-      walk_chunk(k, sizes, nodes, fn);
-    }
   }
+}
+
+void RrStore::ForEachSpilledSetContaining(
+    graph::NodeId v, uint64_t max_id, ThreadPool* pool,
+    const std::function<bool(uint64_t)>& candidate,
+    const std::function<void(uint64_t, std::span<const graph::NodeId>)>& fn)
+    const {
+  std::unique_ptr<ColdScan> scan = StartColdScan(v, max_id, pool);
+  if (scan != nullptr) FinishColdScan(*scan, candidate, fn);
 }
 
 uint64_t RrStore::SpilledBytes() const {

@@ -59,6 +59,7 @@ class ThreadPool;
 namespace isa::rrset {
 
 class SpillFile;
+class SpillChunkCursor;
 struct SpillOptions;
 
 /// Append-only flat storage of RR sets with an inverted index and an
@@ -168,20 +169,48 @@ class RrStore {
 
   /// Invokes fn(set_id, members) in ascending id order for every SPILLED
   /// set with id < max_id whose members contain `v`. Chunks whose footer
-  /// node-envelope excludes `v` (or whose set range starts at or beyond
-  /// max_id) are skipped without touching disk; the rest are read back
-  /// sequentially — in parallel across `pool` workers when given, with fn
-  /// applied serially in ascending chunk order either way, so the call
-  /// sequence is identical at any worker count. A non-null `candidate`
-  /// predicate pre-filters set ids BEFORE the membership test and any
-  /// member copy (callers pass their alive filter, so already-covered
-  /// sets — the common case among old spilled sets — cost nothing beyond
-  /// the chunk read; it may be called from pool workers and must be
-  /// data-race-free against fn). Each chunk read is counted in
-  /// scan_reloads(). Propagates SpillIoError on a failed chunk read.
+  /// metadata excludes `v` — set range at or beyond max_id, node-envelope
+  /// miss, or Bloom-filter miss (spill_file.h) — are skipped without
+  /// touching disk; the rest are streamed through a SpillChunkCursor,
+  /// which prefetches chunk k+1 (io_uring or a `pool` worker; plain pread
+  /// when neither is available) while chunk k is applied. fn always runs
+  /// serially in ascending chunk order, so the call sequence is identical
+  /// with the prefetch on or off. A non-null `candidate` predicate
+  /// pre-filters set ids BEFORE the membership test (callers pass their
+  /// alive filter, so already-covered sets — the common case among old
+  /// spilled sets — cost nothing beyond the chunk read). Counters: one
+  /// scan_reloads() tick per call that consulted the cold tier; each
+  /// considered chunk lands in chunks_read() or chunks_skipped().
+  /// Propagates SpillIoError on a failed chunk read.
   void ForEachSpilledSetContaining(
       graph::NodeId v, uint64_t max_id, ThreadPool* pool,
       const std::function<bool(uint64_t)>& candidate,
+      const std::function<void(uint64_t, std::span<const graph::NodeId>)>&
+          fn) const;
+
+  /// A cold scan in flight: created by StartColdScan (filter + first read
+  /// issued), drained by FinishColdScan. Lets callers overlap the scan's
+  /// disk reads with unrelated compute between the two calls (see
+  /// RrCollection::PrefetchRemoveCoveredBy).
+  struct ColdScan {
+    ColdScan();
+    ~ColdScan();
+    graph::NodeId node = 0;
+    uint64_t max_id = 0;
+    std::unique_ptr<SpillChunkCursor> cursor;
+  };
+
+  /// First half of ForEachSpilledSetContaining: selects the candidate
+  /// chunks (updating the scan counters) and starts the first chunk read.
+  /// Returns null when the cold tier contributes nothing to this scan —
+  /// no spill, no chunk overlapping [0, max_id), or every overlapping
+  /// chunk filtered out.
+  std::unique_ptr<ColdScan> StartColdScan(graph::NodeId v, uint64_t max_id,
+                                          ThreadPool* pool) const;
+  /// Second half: streams the scan's chunks and applies candidate/fn in
+  /// ascending id order (contract as above). Consumes the scan.
+  void FinishColdScan(
+      ColdScan& scan, const std::function<bool(uint64_t)>& candidate,
       const std::function<void(uint64_t, std::span<const graph::NodeId>)>&
           fn) const;
 
@@ -190,8 +219,13 @@ class RrStore {
   uint64_t SpilledBytes() const;
   /// Chunks in the spill file.
   uint64_t SpillChunks() const;
-  /// Chunk reads served so far (coverage-removal scans over cold sets).
+  /// Cold-tier scan passes: coverage-removal scans that had at least one
+  /// chunk overlapping their id range (whether or not any chunk was read).
   uint64_t scan_reloads() const { return scan_reloads_; }
+  /// Chunks fetched from disk across all scans.
+  uint64_t chunks_read() const { return chunks_read_; }
+  /// Overlapping chunks skipped without disk I/O (envelope or Bloom miss).
+  uint64_t chunks_skipped() const { return chunks_skipped_; }
 
   // ---- Accounting. ----
 
@@ -249,11 +283,13 @@ class RrStore {
 
   std::vector<graph::NodeId> scratch_;
 
-  // Cold tier (created on first SpillPrefix). scan_reloads_ mutates on
-  // const scans; updated only from the (single) calling thread, before the
-  // parallel chunk reads are launched.
+  // Cold tier (created on first SpillPrefix). The scan counters mutate on
+  // const scans; updated only from the (single) thread calling
+  // StartColdScan, never from the prefetch backend.
   std::unique_ptr<SpillFile> spill_;
   mutable uint64_t scan_reloads_ = 0;
+  mutable uint64_t chunks_read_ = 0;
+  mutable uint64_t chunks_skipped_ = 0;
 };
 
 }  // namespace isa::rrset

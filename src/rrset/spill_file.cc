@@ -3,20 +3,24 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace isa::rrset {
 
 namespace {
 
-// The on-disk footer: ChunkMeta's fields at fixed width, written after each
-// chunk's payload so the file is self-describing (a backward walk from EOF
-// recovers every footer).
+// The on-disk footer v2: ChunkMeta's scalar fields at fixed width plus the
+// Bloom column's length, written after each chunk's payload + filter so
+// the file is self-describing (a backward walk from EOF recovers every
+// footer; magic + version pin the layout).
 struct DiskFooter {
   uint64_t set_lo;
   uint64_t set_hi;
@@ -24,8 +28,28 @@ struct DiskFooter {
   uint32_t node_max;
   uint64_t file_offset;
   uint64_t postings;
+  uint64_t bloom_words;  // the filter precedes this footer on disk
+  uint32_t version;
+  uint32_t magic;
 };
-static_assert(sizeof(DiskFooter) == 40);
+static_assert(sizeof(DiskFooter) == 56);
+constexpr uint32_t kFooterMagic = 0x32415349;  // "ISA2"
+constexpr uint32_t kFooterVersion = 2;
+
+// ---- test-only fault injection (see ArmReadFaultForTest) ----
+std::atomic<int64_t> g_read_fault_countdown{0};
+std::atomic<int> g_read_fault_errno{EIO};
+std::atomic<int64_t> g_write_fault_countdown{0};
+std::atomic<int> g_write_fault_errno{ENOSPC};
+
+// Ticks one I/O against the armed fault; returns the errno to inject on
+// the firing tick, else 0.
+int TakeFault(std::atomic<int64_t>& countdown, std::atomic<int>& error) {
+  if (countdown.load(std::memory_order_relaxed) <= 0) return 0;
+  return countdown.fetch_sub(1, std::memory_order_relaxed) == 1
+             ? error.load(std::memory_order_relaxed)
+             : 0;
+}
 
 [[noreturn]] void ThrowIo(const char* op, const char* path,
                           const char* detail) {
@@ -36,6 +60,9 @@ static_assert(sizeof(DiskFooter) == 40);
 
 void PwriteAll(int fd, const void* data, size_t len, uint64_t offset,
                const char* path) {
+  if (const int e = TakeFault(g_write_fault_countdown, g_write_fault_errno)) {
+    ThrowIo("pwrite", path, std::strerror(e));
+  }
   const char* p = static_cast<const char*>(data);
   while (len > 0) {
     const ssize_t n = ::pwrite(fd, p, len, static_cast<off_t>(offset));
@@ -51,6 +78,9 @@ void PwriteAll(int fd, const void* data, size_t len, uint64_t offset,
 
 void PreadAll(int fd, void* data, size_t len, uint64_t offset,
               const char* path) {
+  if (const int e = TakeFault(g_read_fault_countdown, g_read_fault_errno)) {
+    ThrowIo("pread", path, std::strerror(e));
+  }
   char* p = static_cast<char*>(data);
   while (len > 0) {
     const ssize_t n = ::pread(fd, p, len, static_cast<off_t>(offset));
@@ -64,7 +94,52 @@ void PreadAll(int fd, void* data, size_t len, uint64_t offset,
   }
 }
 
+// ---- Bloom filter (k = 3 by double hashing over a power-of-two size) ----
+
+// SplitMix64's finalizer — a cheap full-avalanche mixer; the filter only
+// needs the two derived hashes to be well spread, not cryptographic.
+uint64_t MixHash(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+constexpr uint32_t kBloomProbes = 3;
+
+void BloomInsert(std::vector<uint64_t>& bloom, graph::NodeId v) {
+  const uint64_t mask = bloom.size() * 64 - 1;  // power-of-two bit count
+  const uint64_t h1 = MixHash(v);
+  const uint64_t h2 = MixHash(~static_cast<uint64_t>(v)) | 1;
+  for (uint32_t i = 0; i < kBloomProbes; ++i) {
+    const uint64_t bit = (h1 + i * h2) & mask;
+    bloom[bit >> 6] |= 1ull << (bit & 63);
+  }
+}
+
+bool BloomMayContain(std::span<const uint64_t> bloom, graph::NodeId v) {
+  if (bloom.empty()) return true;  // filters disabled
+  const uint64_t mask = bloom.size() * 64 - 1;
+  const uint64_t h1 = MixHash(v);
+  const uint64_t h2 = MixHash(~static_cast<uint64_t>(v)) | 1;
+  for (uint32_t i = 0; i < kBloomProbes; ++i) {
+    const uint64_t bit = (h1 + i * h2) & mask;
+    if ((bloom[bit >> 6] & (1ull << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
 }  // namespace
+
+void SpillFile::ArmReadFaultForTest(int64_t countdown, int error) {
+  g_read_fault_errno.store(error, std::memory_order_relaxed);
+  g_read_fault_countdown.store(countdown, std::memory_order_relaxed);
+}
+
+void SpillFile::ArmWriteFaultForTest(int64_t countdown, int error) {
+  g_write_fault_errno.store(error, std::memory_order_relaxed);
+  g_write_fault_countdown.store(countdown, std::memory_order_relaxed);
+}
 
 std::string MakeSpillPath(const std::string& dir) {
   static std::atomic<uint64_t> seq{0};
@@ -78,9 +153,23 @@ std::string MakeSpillPath(const std::string& dir) {
          std::to_string(seq.fetch_add(1)) + ".bin";
 }
 
-SpillFile::SpillFile(std::string path) : path_(std::move(path)) {
-  fd_ = ::open(path_.c_str(), O_CREAT | O_TRUNC | O_RDWR | O_CLOEXEC, 0644);
-  if (fd_ < 0) ThrowIo("open", path_.c_str(), std::strerror(errno));
+SpillFile::SpillFile(std::string path, uint32_t bloom_bits_per_key)
+    : path_(std::move(path)), bloom_bits_per_key_(bloom_bits_per_key) {
+  // O_EXCL (and no O_TRUNC): the spill path is predictable
+  // (pid + sequence), so a file or symlink planted there by another
+  // process must never be truncated or followed. If the name is taken,
+  // retry with a fresh suffix — the file is private scratch, so any
+  // unique name works.
+  const std::string requested = path_;
+  for (uint32_t attempt = 0; fd_ < 0; ++attempt) {
+    fd_ = ::open(path_.c_str(),
+                 O_CREAT | O_EXCL | O_RDWR | O_CLOEXEC | O_NOFOLLOW, 0600);
+    if (fd_ >= 0) break;
+    if (errno != EEXIST || attempt >= 100) {
+      ThrowIo("open", path_.c_str(), std::strerror(errno));
+    }
+    path_ = requested + "." + std::to_string(attempt);
+  }
 }
 
 SpillFile::~SpillFile() {
@@ -107,16 +196,44 @@ void SpillFile::AppendChunk(uint64_t set_lo, uint64_t set_hi,
     if (v < meta.node_min) meta.node_min = v;
     if (v > meta.node_max) meta.node_max = v;
   }
+  if (bloom_bits_per_key_ > 0 && !nodes.empty()) {
+    // Size the filter on DISTINCT ids — RR sets of the same chunk overlap
+    // heavily on hub nodes, and sizing on raw postings would pay for each
+    // duplicate. One sort of the chunk's postings at spill time buys an
+    // exact count.
+    distinct_scratch_.assign(nodes.begin(), nodes.end());
+    std::sort(distinct_scratch_.begin(), distinct_scratch_.end());
+    const uint64_t distinct = static_cast<uint64_t>(
+        std::unique(distinct_scratch_.begin(), distinct_scratch_.end()) -
+        distinct_scratch_.begin());
+    const uint64_t bits =
+        std::bit_ceil(std::max<uint64_t>(64, distinct * bloom_bits_per_key_));
+    meta.bloom.assign(bits / 64, 0);
+    for (graph::NodeId v : nodes) BloomInsert(meta.bloom, v);
+  }
 
   PwriteAll(fd_, sizes.data(), sizes.size_bytes(), bytes_, path_.c_str());
   bytes_ += sizes.size_bytes();
   PwriteAll(fd_, nodes.data(), nodes.size_bytes(), bytes_, path_.c_str());
   bytes_ += nodes.size_bytes();
-  const DiskFooter footer{meta.set_lo,      meta.set_hi,   meta.node_min,
-                          meta.node_max,    meta.file_offset, meta.postings};
+  const uint64_t bloom_bytes = meta.bloom.size() * sizeof(uint64_t);
+  if (bloom_bytes > 0) {
+    PwriteAll(fd_, meta.bloom.data(), bloom_bytes, bytes_, path_.c_str());
+    bytes_ += bloom_bytes;
+  }
+  const DiskFooter footer{meta.set_lo,
+                          meta.set_hi,
+                          meta.node_min,
+                          meta.node_max,
+                          meta.file_offset,
+                          meta.postings,
+                          static_cast<uint64_t>(meta.bloom.size()),
+                          kFooterVersion,
+                          kFooterMagic};
   PwriteAll(fd_, &footer, sizeof(footer), bytes_, path_.c_str());
   bytes_ += sizeof(footer);
-  chunks_.push_back(meta);
+  bloom_bytes_ += meta.bloom.capacity() * sizeof(uint64_t);
+  chunks_.push_back(std::move(meta));
 }
 
 void SpillFile::ReadChunk(size_t chunk, std::vector<uint32_t>* sizes,
@@ -128,6 +245,59 @@ void SpillFile::ReadChunk(size_t chunk, std::vector<uint32_t>* sizes,
            meta.file_offset, path_.c_str());
   PreadAll(fd_, nodes->data(), nodes->size() * sizeof(graph::NodeId),
            meta.file_offset + sizes->size() * sizeof(uint32_t), path_.c_str());
+}
+
+bool SpillFile::ChunkMightContain(size_t chunk, graph::NodeId v) const {
+  const ChunkMeta& meta = chunks_[chunk];
+  if (meta.postings == 0 || v < meta.node_min || v > meta.node_max) {
+    return false;
+  }
+  return BloomMayContain(meta.bloom, v);
+}
+
+// ------------------------------------------------------- SpillChunkCursor
+
+SpillChunkCursor::SpillChunkCursor(const SpillFile& file,
+                                   std::vector<uint32_t> chunks,
+                                   ThreadPool* pool)
+    : file_(file), chunks_(std::move(chunks)), reader_(pool) {
+  if (!chunks_.empty()) IssueRead(0);
+}
+
+void SpillChunkCursor::IssueRead(size_t idx) {
+  const SpillFile::ChunkMeta& meta = file_.chunks_[chunks_[idx]];
+  std::vector<uint32_t>& buf = buf_[idx & 1];
+  buf.resize(meta.PayloadBytes() / sizeof(uint32_t));
+  reader_.Start(file_.fd_, meta.file_offset, buf.data(),
+                meta.PayloadBytes());
+}
+
+bool SpillChunkCursor::Next() {
+  if (pos_ == chunks_.size()) return false;
+  const int err = reader_.Wait();
+  if (const int e = TakeFault(g_read_fault_countdown, g_read_fault_errno)) {
+    ThrowIo("read", file_.path_.c_str(), std::strerror(e));
+  }
+  if (err != 0) {
+    ThrowIo("read", file_.path_.c_str(),
+            err == -1 ? "unexpected EOF" : std::strerror(err));
+  }
+  ++pos_;
+  // The pipeline: the NEXT chunk's bytes stream in while the caller
+  // consumes the spans below.
+  if (pos_ < chunks_.size()) IssueRead(pos_);
+  return true;
+}
+
+std::span<const uint32_t> SpillChunkCursor::sizes() const {
+  const SpillFile::ChunkMeta& meta = file_.chunks_[chunks_[pos_ - 1]];
+  return {buf_[(pos_ - 1) & 1].data(), meta.set_hi - meta.set_lo};
+}
+
+std::span<const graph::NodeId> SpillChunkCursor::nodes() const {
+  const SpillFile::ChunkMeta& meta = file_.chunks_[chunks_[pos_ - 1]];
+  return {buf_[(pos_ - 1) & 1].data() + (meta.set_hi - meta.set_lo),
+          meta.postings};
 }
 
 }  // namespace isa::rrset

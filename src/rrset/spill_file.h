@@ -2,21 +2,32 @@
 // store (see rr_store.h for the two-tier picture).
 //
 // A chunk holds a contiguous range of RR sets [set_lo, set_hi) in two
-// columns, exactly the (sizes, nodes) shape RrStore::AppendBatch consumes:
+// columns, exactly the (sizes, nodes) shape RrStore::AppendBatch consumes,
+// followed by its skip metadata:
 //
 //   [uint32 sizes[set_hi - set_lo]]   cardinality per set, in id order
 //   [uint32 nodes[postings]]          concatenated members, in id order
-//   [footer]                          set-id range, node-id min/max,
-//                                     payload offset, posting count
+//   [uint64 bloom[bloom_words]]       Bloom filter over the member node ids
+//   [footer v2]                       set-id range, node-id min/max,
+//                                     payload offset, posting count,
+//                                     bloom length, version + magic
 //
 // Footers are written after each chunk's payload (the file is
 // self-describing and recoverable by a backward footer walk) and mirrored
-// in memory, so scans can skip chunks by set-id range or by the node-id
-// [min, max] envelope without touching the disk. Reads use positional I/O
-// (pread), so concurrent chunk scans from pool workers need no locking.
+// in memory — bloom words included — so scans can skip chunks by set-id
+// range, by the node-id [min, max] envelope, or by a Bloom miss without
+// touching the disk (ChunkMightContain). The filter is built at spill
+// time over the chunk's distinct member ids (k = 3 probes by double
+// hashing, bloom_bits_per_key bits per distinct id rounded up to a
+// power-of-two word count), so a low-selectivity seed skips most chunks at
+// ~1 bit of resident cost per posting. Reads use positional I/O (pread or
+// io_uring via SpillChunkCursor), so concurrent chunk reads need no
+// locking.
 //
-// The file is created on first use and removed by the destructor; it is a
-// cache of evicted state, never a persistence format.
+// The file is created O_EXCL at a process-unique name (a pre-existing
+// file or symlink at the requested path is never truncated or followed —
+// the constructor retries with a fresh suffix instead) and removed by the
+// destructor; it is a cache of evicted state, never a persistence format.
 
 #ifndef ISA_RRSET_SPILL_FILE_H_
 #define ISA_RRSET_SPILL_FILE_H_
@@ -27,7 +38,12 @@
 #include <string>
 #include <vector>
 
+#include "common/async_io.h"
 #include "graph/graph.h"
+
+namespace isa {
+class ThreadPool;
+}
 
 namespace isa::rrset {
 
@@ -35,8 +51,7 @@ namespace isa::rrset {
 /// while evicting is the realistic case). The TI driver converts it to
 /// Status::ResourceExhausted, exactly like a pool-task std::bad_alloc —
 /// disk exhaustion in the cold tier is the same recoverable condition as
-/// heap exhaustion in the hot one. Reads from pool workers are marshaled
-/// through ThreadPool::Run's exception barrier first.
+/// heap exhaustion in the hot one.
 class SpillIoError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
@@ -46,13 +61,19 @@ class SpillIoError : public std::runtime_error {
 /// chunk file lives.
 struct SpillOptions {
   /// Chunk file path. Empty = a fresh unique file under the system temp
-  /// directory (see MakeSpillPath).
+  /// directory (see MakeSpillPath). The actual file may get a retry
+  /// suffix when the exclusive create loses a race — see SpillFile::path.
   std::string path;
   /// Target payload bytes per chunk. Chunks close at the first set
   /// boundary past the target, so one oversized RR set still lands in a
   /// single (oversized) chunk. Smaller chunks skip better on scans;
   /// larger chunks amortize the per-chunk read syscall.
   uint64_t chunk_target_bytes = 4ull << 20;
+  /// Bloom bits per distinct member node id in a chunk (rounded up to a
+  /// power-of-two filter size; ~8 bits with k = 3 gives a ~3% false-
+  /// positive rate). 0 disables the filters — chunks are then skipped by
+  /// the node-id envelope only.
+  uint32_t bloom_bits_per_key = 8;
 };
 
 /// A process-unique spill file path: `<dir>/isa-spill-<pid>-<seq>.bin`,
@@ -73,54 +94,123 @@ class SpillFile {
     /// outside [node_min, node_max] skip the chunk without reading it.
     graph::NodeId node_min = 0;
     graph::NodeId node_max = 0;
-    /// Byte offset of the sizes column in the file.
+    /// Byte offset of the sizes column in the file. The nodes column
+    /// follows contiguously, so one read of PayloadBytes() at this offset
+    /// fetches the whole chunk.
     uint64_t file_offset = 0;
     /// Total members over the chunk's sets (the nodes column length).
     uint64_t postings = 0;
+    /// Bloom filter over the member ids (power-of-two bit count; empty =
+    /// filters disabled). Mirrored from disk; charged to MetadataBytes.
+    std::vector<uint64_t> bloom;
+
+    uint64_t PayloadBytes() const {
+      return (set_hi - set_lo + postings) * sizeof(uint32_t);
+    }
   };
 
-  /// Creates (truncates) the file at `path`. Throws SpillIoError on
-  /// failure — the spill tier is backing storage; running on without it
-  /// would silently break the memory budget.
-  explicit SpillFile(std::string path);
+  /// Creates the file at `path` with O_EXCL, retrying with a numeric
+  /// suffix while the name is taken (path() reports the winner). Throws
+  /// SpillIoError on failure — the spill tier is backing storage; running
+  /// on without it would silently break the memory budget.
+  explicit SpillFile(std::string path, uint32_t bloom_bits_per_key = 8);
   ~SpillFile();
   SpillFile(const SpillFile&) = delete;
   SpillFile& operator=(const SpillFile&) = delete;
 
   /// Appends sets [set_lo, set_hi): `sizes[k]` members of set (set_lo + k)
   /// taken in order from the concatenated `nodes`. Computes the node-id
-  /// envelope and writes payload + footer. Throws SpillIoError on I/O
-  /// failure (the chunk is then not recorded).
+  /// envelope and Bloom filter and writes payload + filter + footer.
+  /// Throws SpillIoError on I/O failure (the chunk is then not recorded).
   void AppendChunk(uint64_t set_lo, uint64_t set_hi,
                    std::span<const uint32_t> sizes,
                    std::span<const graph::NodeId> nodes);
 
   /// Reads chunk `chunk` back into `sizes`/`nodes` (resized to fit) — the
   /// exact columns AppendChunk wrote. Thread-safe against other reads.
-  /// Throws SpillIoError on I/O failure.
+  /// Throws SpillIoError on I/O failure. Scans prefer SpillChunkCursor,
+  /// which overlaps the next chunk's read with the current one's apply.
   void ReadChunk(size_t chunk, std::vector<uint32_t>* sizes,
                  std::vector<graph::NodeId>* nodes) const;
+
+  /// False when chunk `chunk` certainly does not contain node `v` (by the
+  /// footer envelope or a Bloom miss) — the scan-time skip test; never
+  /// reads the disk. True may be a Bloom false positive.
+  bool ChunkMightContain(size_t chunk, graph::NodeId v) const;
 
   std::span<const ChunkMeta> chunks() const { return chunks_; }
   size_t num_chunks() const { return chunks_.size(); }
 
-  /// Bytes written to disk (payload + footers) — the non-resident tier's
-  /// size for Table 3 accounting.
+  /// Bytes written to disk (payload + filters + footers) — the
+  /// non-resident tier's size for Table 3 accounting.
   uint64_t bytes_on_disk() const { return bytes_; }
 
-  /// Resident bytes this object itself holds (the footer mirror) — charged
-  /// into RrStore::MemoryBytes so the accounting stays honest.
+  /// Resident bytes this object itself holds (the footer mirror, Bloom
+  /// words included) — charged into RrStore::MemoryBytes so the
+  /// accounting stays honest.
   uint64_t MetadataBytes() const {
-    return chunks_.capacity() * sizeof(ChunkMeta);
+    return chunks_.capacity() * sizeof(ChunkMeta) + bloom_bytes_;
   }
 
   const std::string& path() const { return path_; }
 
+  /// Test-only fault injection, process-wide: the `countdown`-th
+  /// subsequent spill read (or write) fails with errno `error`, then the
+  /// hook disarms. Countdown 0 disarms immediately. Reads tick once per
+  /// chunk fetched through SpillChunkCursor and once per pread in
+  /// ReadChunk. Arm from a single thread with no scans in flight.
+  static void ArmReadFaultForTest(int64_t countdown, int error);
+  static void ArmWriteFaultForTest(int64_t countdown, int error);
+
  private:
+  friend class SpillChunkCursor;
+
   std::string path_;
   int fd_ = -1;
+  uint32_t bloom_bits_per_key_;
   uint64_t bytes_ = 0;
+  uint64_t bloom_bytes_ = 0;  // resident bytes of the mirrored filters
   std::vector<ChunkMeta> chunks_;
+  std::vector<graph::NodeId> distinct_scratch_;  // AppendChunk's sort buffer
+};
+
+/// Pipelined reader over an ascending list of a SpillFile's chunk indices:
+/// while the caller consumes chunk k's columns, chunk k+1's bytes are
+/// already streaming into the other half of a double buffer
+/// (common/async_io.h picks io_uring, a pool worker, or a plain pread —
+/// the same bytes arrive whichever backend serves the read). One read in
+/// flight, chunks delivered strictly in list order: consumers that apply
+/// per chunk keep their deterministic ascending-id call sequence with the
+/// prefetch on or off.
+///
+/// The SpillFile must outlive the cursor and must not be appended to while
+/// a cursor is live. Not thread-safe; one cursor per scan.
+class SpillChunkCursor {
+ public:
+  SpillChunkCursor(const SpillFile& file, std::vector<uint32_t> chunks,
+                   ThreadPool* pool);
+
+  /// Advances to the next chunk in the list, blocking only until ITS bytes
+  /// landed (the following chunk's read is then started). Returns false
+  /// when the list is exhausted. Throws SpillIoError on a failed or short
+  /// read. The spans below are valid until the next call.
+  bool Next();
+
+  /// Index (into file.chunks()) of the chunk Next() delivered.
+  uint32_t chunk() const { return chunks_[pos_ - 1]; }
+  std::span<const uint32_t> sizes() const;
+  std::span<const graph::NodeId> nodes() const;
+
+  const char* backend_name() const { return reader_.backend_name(); }
+
+ private:
+  void IssueRead(size_t idx);
+
+  const SpillFile& file_;
+  std::vector<uint32_t> chunks_;
+  size_t pos_ = 0;  // chunks consumed; the in-flight read is for chunks_[pos_]
+  std::vector<uint32_t> buf_[2];  // double buffer of raw chunk payloads
+  AsyncFileReader reader_;
 };
 
 }  // namespace isa::rrset

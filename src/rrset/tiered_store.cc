@@ -25,15 +25,18 @@ void TieredRrStore::MaybeSpill(uint64_t max_evictable, ThreadPool* pool) {
     // Walk the eviction frontier forward until the estimated reclaim
     // covers the overshoot. Each evicted set frees its members (4 B per
     // posting), its inverted-index posting (~4 B each in the CSR base)
-    // and its offset slot (8 B); the estimate errs low (capacity slack
-    // also falls at the exact-fit rebuild), which only means MaybeSpill
-    // occasionally evicts one chunk more at the next barrier.
+    // and its offset slot (8 B), but the spill's resident footer mirror
+    // grows by up to ~1 B per posting of Bloom filter (bloom_bits_per_key
+    // bits per distinct id; duplicates make this an upper bound), hence
+    // the -1 below. The estimate errs low (capacity slack also falls at
+    // the exact-fit rebuild), which only means MaybeSpill occasionally
+    // evicts one chunk more at the next barrier.
     const uint64_t need = resident - budget;
     uint64_t new_first = store_->first_resident_set();
     uint64_t freed = 0;
     while (new_first < max_evictable && freed < need) {
       freed += store_->PostingsInRange(new_first, new_first + 1) *
-                   (2 * sizeof(graph::NodeId)) +
+                   (2 * sizeof(graph::NodeId) - 1) +
                sizeof(uint64_t);
       ++new_first;
     }

@@ -262,8 +262,9 @@ int main(int argc, char** argv) {
       "ad",     "seeds",  "revenue", "incentives", "payment", "budget",
       "theta",  "growth", "cap hits", "pilot",     "RR memory"};
   if (spilling) {
-    columns.insert(columns.end(),
-                   {"spilled", "chunks", "scans", "resident peak"});
+    columns.insert(columns.end(), {"spilled", "chunks", "scans",
+                                   "chunks read", "chunks skipped",
+                                   "resident peak"});
   }
   isa::TableWriter table(columns);
   for (uint32_t j = 0; j < h; ++j) {
@@ -283,6 +284,8 @@ int main(int argc, char** argv) {
       table.AddCell(isa::HumanBytes(st.spilled_bytes));
       table.AddCell(st.spill_chunks);
       table.AddCell(st.scan_reloads);
+      table.AddCell(st.chunks_read);
+      table.AddCell(st.chunks_skipped);
       table.AddCell(isa::HumanBytes(st.rr_resident_peak_bytes));
     }
     if (auto s = table.EndRow(); !s.ok()) return Fail(s);
@@ -300,11 +303,14 @@ int main(int argc, char** argv) {
               (unsigned long long)result.total_theta_cap_hits);
   if (spilling) {
     std::printf("spill tier: budget %s per store, %s spilled in %llu "
-                "chunks, %llu chunk scans\n",
+                "chunks; %llu cold scans read %llu chunks, skipped %llu "
+                "(envelope/Bloom)\n",
                 isa::HumanBytes(options.rr_memory_budget_bytes).c_str(),
                 isa::HumanBytes(result.total_spilled_bytes).c_str(),
                 (unsigned long long)result.total_spill_chunks,
-                (unsigned long long)result.total_scan_reloads);
+                (unsigned long long)result.total_scan_reloads,
+                (unsigned long long)result.total_chunks_read,
+                (unsigned long long)result.total_chunks_skipped);
   }
 
   const std::string csv =
