@@ -27,6 +27,7 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
+#include "common/failpoint.h"
 #include "common/table_writer.h"
 
 namespace {
@@ -144,6 +145,7 @@ int main() {
               "===\n\n");
   bool budget_mismatch = false;
   bool filters_dead = false;  // 25% row skipped nothing — see gate below
+  bool recovery_ok = false;   // faulted-run row — see gate below
   std::vector<std::string> budget_rows;
   {
     auto ds = isa::bench::MustValue(
@@ -240,6 +242,51 @@ int main() {
       std::fprintf(stderr, "  [budget %.0f%% threads=%u] done\n",
                    run.fraction * 100, run.threads);
     }
+
+    // Faulted run: the tight 25% budget again, with a permanent EIO
+    // injected on EVERY cold-chunk read. The self-healing tier must
+    // rebuild each consulted chunk by re-sampling it from its recorded
+    // substream seed and still reproduce the unbudgeted result bit for
+    // bit — the recovery gate next to the budget-determinism gate above.
+    {
+      auto faulted_ti = ti;
+      faulted_ti.rr_memory_budget_bytes =
+          static_cast<uint64_t>(store_bytes * 0.25);
+      isa::bench::Check(isa::FailPoints::Arm("spill.read.eio@every:1"),
+                        "arm failpoints");
+      auto faulted = isa::core::RunTiCsrm(*setup.instance, faulted_ti);
+      isa::FailPoints::Clear();
+      isa::bench::Check(faulted.status(), "TI-CSRM faulted");
+      const isa::core::TiResult& r = faulted.value();
+      recovery_ok = SameComputedResult(reference.value(), r) &&
+                    r.total_degradation_events > 0 &&
+                    r.total_recovered_sets > 0;
+      sweep.AddCell(isa::HumanBytes(faulted_ti.rr_memory_budget_bytes) +
+                    " +EIO");
+      sweep.AddCell(uint64_t{faulted_ti.num_threads});
+      sweep.AddCell(isa::HumanBytes(r.total_rr_memory_bytes));
+      sweep.AddCell(isa::HumanBytes(SumResidentPeak(r)));
+      sweep.AddCell(isa::HumanBytes(r.total_spilled_bytes));
+      sweep.AddCell(r.total_spill_chunks);
+      sweep.AddCell(r.total_scan_reloads);
+      sweep.AddCell(r.total_chunks_read);
+      sweep.AddCell(r.total_chunks_skipped);
+      sweep.AddCell(r.elapsed_seconds, 2);
+      sweep.AddCell(std::string(recovery_ok ? "yes" : "MISMATCH"));
+      isa::bench::Check(sweep.EndRow(), "sweep row");
+      budget_rows.push_back(
+          isa::bench::JsonObject()
+              .Add("budget_bytes", faulted_ti.rr_memory_budget_bytes)
+              .Add("threads", uint64_t{faulted_ti.num_threads})
+              .Add("failpoints", std::string("spill.read.eio@every:1"))
+              .Add("degradation_events", r.total_degradation_events)
+              .Add("recovered_sets", r.total_recovered_sets)
+              .Add("spill_retries", r.total_spill_retries)
+              .Add("elapsed_seconds", r.elapsed_seconds)
+              .Add("recovery_ok", recovery_ok)
+              .str());
+      std::fprintf(stderr, "  [budget 25%% + injected EIO] done\n");
+    }
     sweep.Print(std::cout);
   }
 
@@ -250,6 +297,7 @@ int main() {
           .Add("scale", scale)
           .Add("budget_determinism_ok", !budget_mismatch)
           .Add("chunk_filters_ok", !filters_dead)
+          .Add("recovery_ok", recovery_ok)
           .AddRaw("rows", isa::bench::JsonArray(json_rows))
           .AddRaw("budget_rows", isa::bench::JsonArray(budget_rows))
           .str());
@@ -264,6 +312,13 @@ int main() {
                  "[bench] FAIL: the 25%%-budget run skipped no cold "
                  "chunks — the envelope/Bloom chunk filters are not "
                  "engaging\n");
+    return 2;
+  }
+  if (!recovery_ok) {
+    std::fprintf(stderr,
+                 "[bench] FAIL: the injected-EIO run did not recover "
+                 "bit-identically (or never exercised recovery) — the "
+                 "self-healing cold tier is broken\n");
     return 2;
   }
   return 0;

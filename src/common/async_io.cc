@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 #ifdef ISA_HAVE_IO_URING
@@ -263,6 +264,8 @@ void AsyncFileReader::Start(int fd, uint64_t offset, void* buf, size_t len) {
   len_ = len;
   in_flight_ = true;
   uring_submitted_ = false;
+  submit_faulted_ = FailPointHit("async.submit") != 0;
+  if (submit_faulted_) return;  // Wait falls back to a synchronous pread
   switch (backend_) {
     case AsyncIoBackend::kIoUring:
       uring_submitted_ = UringStart();
@@ -280,15 +283,25 @@ void AsyncFileReader::Start(int fd, uint64_t offset, void* buf, size_t len) {
 int AsyncFileReader::Wait() {
   ISA_CHECK(in_flight_);
   in_flight_ = false;
-  switch (backend_) {
-    case AsyncIoBackend::kIoUring:
-      return uring_submitted_ ? UringWait() : SyncRead();
-    case AsyncIoBackend::kPoolPread:
-      task_.Wait();  // publishes pool_result_ and the buffer bytes
-      return pool_result_;
-    default:
-      return SyncRead();
+  int result;
+  if (submit_faulted_) {
+    result = SyncRead();
+  } else {
+    switch (backend_) {
+      case AsyncIoBackend::kIoUring:
+        result = uring_submitted_ ? UringWait() : SyncRead();
+        break;
+      case AsyncIoBackend::kPoolPread:
+        task_.Wait();  // publishes pool_result_ and the buffer bytes
+        result = pool_result_;
+        break;
+      default:
+        result = SyncRead();
+        break;
+    }
   }
+  if (const int e = FailPointHit("async.complete")) result = e;
+  return result;
 }
 
 }  // namespace isa

@@ -100,6 +100,10 @@ class AsyncFileReader {
 
   bool in_flight_ = false;
   bool uring_submitted_ = false;
+  // "async.submit" failpoint fired on the last Start: the backend never
+  // saw the request and Wait serves it with a synchronous pread — the
+  // exact path a real failed submission takes.
+  bool submit_faulted_ = false;
   int fd_ = -1;
   uint64_t offset_ = 0;
   char* buf_ = nullptr;

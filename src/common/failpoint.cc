@@ -1,0 +1,228 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace isa {
+
+namespace {
+
+struct Entry {
+  FailPoints::Spec spec;
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+};
+
+// One mutex guards the entry list AND the per-entry counters: every armed
+// hit serializes here. That is deliberate — failpoints exist for tests and
+// chaos runs, where a globally consistent hit order matters more than hot
+//-path scalability, and the unarmed fast path below never takes the lock.
+std::mutex g_mu;
+std::vector<Entry>& Entries() {
+  static std::vector<Entry>* entries = new std::vector<Entry>();
+  return *entries;
+}
+std::atomic<uint64_t> g_armed{0};       // entry count, for the fast path
+std::atomic<bool> g_env_checked{false};
+
+// Parses the trailing ".kind" of an entry name into its payload.
+bool KindPayload(std::string_view kind, int* payload) {
+  if (kind == "eio") *payload = EIO;
+  else if (kind == "enospc") *payload = ENOSPC;
+  else if (kind == "eagain") *payload = EAGAIN;
+  else if (kind == "enomem") *payload = ENOMEM;
+  else if (kind == "ebusy") *payload = EBUSY;
+  else if (kind == "eof") *payload = kFailPointEof;
+  else if (kind == "throw") *payload = kFailPointThrow;
+  else return false;
+  return true;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool ParseU64(std::string_view s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    if (v > (UINT64_MAX - (c - '0')) / 10) return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+Status BadEntry(std::string_view entry, const char* why) {
+  return Status::InvalidArgument(std::string("failpoint entry \"") +
+                                 std::string(entry) + "\": " + why);
+}
+
+Result<FailPoints::Spec> ParseEntry(std::string_view entry) {
+  FailPoints::Spec spec;
+  const size_t at = entry.find('@');
+  if (at == std::string_view::npos) {
+    return BadEntry(entry, "missing '@trigger'");
+  }
+  const std::string_view name = Trim(entry.substr(0, at));
+  const std::string_view trigger = Trim(entry.substr(at + 1));
+  const size_t dot = name.rfind('.');
+  if (dot == std::string_view::npos || dot == 0 || dot + 1 == name.size()) {
+    return BadEntry(entry, "expected '<site>.<kind>' before '@'");
+  }
+  spec.site = std::string(name.substr(0, dot));
+  if (!KindPayload(name.substr(dot + 1), &spec.payload)) {
+    return BadEntry(entry,
+                    "unknown fault kind (want eio|enospc|eagain|enomem|"
+                    "ebusy|eof|throw)");
+  }
+  if (trigger.rfind("every:", 0) == 0) {
+    spec.trigger = FailPoints::Spec::Trigger::kEvery;
+    if (!ParseU64(trigger.substr(6), &spec.n) || spec.n == 0) {
+      return BadEntry(entry, "bad 'every:K' period (want K >= 1)");
+    }
+  } else if (trigger.rfind("p:", 0) == 0) {
+    spec.trigger = FailPoints::Spec::Trigger::kProb;
+    const std::string_view rest = trigger.substr(2);
+    const size_t colon = rest.find(':');
+    if (colon == std::string_view::npos) {
+      return BadEntry(entry, "probability trigger wants 'p:P:SEED'");
+    }
+    char* end = nullptr;
+    const std::string pstr(rest.substr(0, colon));
+    spec.p = std::strtod(pstr.c_str(), &end);
+    if (end == nullptr || *end != '\0' || spec.p < 0.0 || spec.p > 1.0) {
+      return BadEntry(entry, "probability P must be in [0, 1]");
+    }
+    if (!ParseU64(rest.substr(colon + 1), &spec.seed)) {
+      return BadEntry(entry, "bad probability SEED (want an integer)");
+    }
+  } else {
+    spec.trigger = FailPoints::Spec::Trigger::kNth;
+    if (!ParseU64(trigger, &spec.n) || spec.n == 0) {
+      return BadEntry(entry, "bad trigger (want N | every:K | p:P:SEED)");
+    }
+  }
+  return spec;
+}
+
+void ArmParsed(std::vector<FailPoints::Spec> specs) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  for (FailPoints::Spec& s : specs) {
+    Entries().push_back(Entry{std::move(s)});
+  }
+  g_armed.store(Entries().size(), std::memory_order_release);
+}
+
+// Consumes ISA_FAILPOINTS once per process (before the first hit or the
+// first explicit Arm/Clear touches the registry). Invalid entries are
+// logged and skipped — the env var has no channel for a flag error; the
+// CLI path validates loudly via Parse instead.
+void EnsureEnvLoaded() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    if (const char* env = std::getenv("ISA_FAILPOINTS")) {
+      Result<std::vector<FailPoints::Spec>> parsed = FailPoints::Parse(env);
+      if (parsed.ok()) {
+        ArmParsed(std::move(parsed).value());
+        if (g_armed.load(std::memory_order_relaxed) > 0) {
+          ISA_LOG("FailPoints: armed %llu entr%s from ISA_FAILPOINTS",
+                  static_cast<unsigned long long>(
+                      g_armed.load(std::memory_order_relaxed)),
+                  g_armed.load(std::memory_order_relaxed) == 1 ? "y" : "ies");
+        }
+      } else {
+        ISA_LOG("FailPoints: ignoring invalid ISA_FAILPOINTS: %s",
+                parsed.status().message().c_str());
+      }
+    }
+    g_env_checked.store(true, std::memory_order_release);
+  });
+}
+
+}  // namespace
+
+int FailPointHit(const char* site) {
+  if (!g_env_checked.load(std::memory_order_acquire)) EnsureEnvLoaded();
+  if (g_armed.load(std::memory_order_relaxed) == 0) return 0;
+  std::lock_guard<std::mutex> lock(g_mu);
+  int payload = 0;
+  for (Entry& e : Entries()) {
+    if (e.spec.site != site) continue;
+    const uint64_t hit = ++e.hits;
+    bool fire = false;
+    switch (e.spec.trigger) {
+      case FailPoints::Spec::Trigger::kNth:
+        fire = hit == e.spec.n;
+        break;
+      case FailPoints::Spec::Trigger::kEvery:
+        fire = hit % e.spec.n == 0;
+        break;
+      case FailPoints::Spec::Trigger::kProb:
+        // Deterministic per hit index: the same spec fires at the same
+        // hits in every run, independent of thread schedule or clock.
+        fire = static_cast<double>(HashSeed(e.spec.seed, hit) >> 11) *
+                   0x1.0p-53 <
+               e.spec.p;
+        break;
+    }
+    if (fire) {
+      ++e.fires;
+      if (payload == 0) payload = e.spec.payload;
+    }
+  }
+  return payload;
+}
+
+Result<std::vector<FailPoints::Spec>> FailPoints::Parse(
+    std::string_view spec) {
+  std::vector<Spec> out;
+  while (!spec.empty()) {
+    const size_t comma = spec.find(',');
+    const std::string_view entry = Trim(spec.substr(0, comma));
+    spec = comma == std::string_view::npos ? std::string_view()
+                                           : spec.substr(comma + 1);
+    if (entry.empty()) continue;  // tolerate "a@1,,b@2" and trailing commas
+    Result<Spec> parsed = ParseEntry(entry);
+    if (!parsed.ok()) return parsed.status();
+    out.push_back(std::move(parsed).value());
+  }
+  return out;
+}
+
+Status FailPoints::Arm(std::string_view spec) {
+  EnsureEnvLoaded();
+  Result<std::vector<Spec>> parsed = Parse(spec);
+  if (!parsed.ok()) return parsed.status();
+  ArmParsed(std::move(parsed).value());
+  return Status::OK();
+}
+
+void FailPoints::Clear() {
+  EnsureEnvLoaded();  // mark the env consumed so Clear is final
+  std::lock_guard<std::mutex> lock(g_mu);
+  Entries().clear();
+  g_armed.store(0, std::memory_order_release);
+}
+
+uint64_t FailPoints::TotalFires() {
+  EnsureEnvLoaded();
+  std::lock_guard<std::mutex> lock(g_mu);
+  uint64_t total = 0;
+  for (const Entry& e : Entries()) total += e.fires;
+  return total;
+}
+
+}  // namespace isa

@@ -1,7 +1,10 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <new>
 #include <utility>
+
+#include "common/failpoint.h"
 
 namespace isa {
 
@@ -84,6 +87,10 @@ void ThreadPool::Join(const std::shared_ptr<Batch>& batch, bool rethrow) {
 
 void ThreadPool::Run(uint64_t n, const std::function<void(uint64_t)>& fn) {
   if (n == 0) return;
+  // "pool.alloc" models the batch allocation failing — the same
+  // std::bad_alloc a real heap exhaustion would raise here, surfaced to
+  // the caller like any task exception.
+  if (FailPointHit("pool.alloc") != 0) throw std::bad_alloc();
   if (workers_.empty() || n == 1) {
     // Inline path: exceptions propagate to the caller directly — the same
     // contract as the marshaled multi-worker path below.
@@ -109,6 +116,7 @@ void ThreadPool::Run(uint64_t n, const std::function<void(uint64_t)>& fn) {
 ThreadPool::TaskGroup ThreadPool::Launch(uint64_t n,
                                          std::function<void(uint64_t)> fn) {
   if (n == 0) return TaskGroup();
+  if (FailPointHit("pool.alloc") != 0) throw std::bad_alloc();
   auto batch = std::make_shared<Batch>();
   batch->owned_fn = std::move(fn);
   batch->fn = &batch->owned_fn;

@@ -111,6 +111,31 @@ AdvertiserEngine::AdvertiserEngine(uint32_t ad, const RmInstance& instance,
 AdvertiserEngine::~AdvertiserEngine() = default;
 
 Status AdvertiserEngine::Init() {
+  // Self-healing hook: if one of the store's cold chunks ever becomes
+  // unreadable, its sets are regenerated from the recorded per-batch
+  // provenance seed through the same Rng(HashSeed(seed, id)) substreams
+  // that sampled them — bit-identical by construction. Ads sharing a store
+  // have bitwise-identical Eq. 1 probabilities, so whichever engine
+  // registers last serves every range; the per-range seed carries the
+  // per-ad substream. This engine must outlive the store's cold scans
+  // (true in RunTiGreedy: scans end with the scheduler, before teardown).
+  collection_.store()->SetResampler(
+      [this](uint64_t seed, uint64_t lo, uint64_t hi,
+             std::vector<uint32_t>* sizes,
+             std::vector<graph::NodeId>* nodes) {
+        rrset::RrSampler sampler(instance_.graph(), instance_.ad_probs(ad_),
+                                 options_.model);
+        sizes->clear();
+        nodes->clear();
+        sizes->reserve(hi - lo);
+        std::vector<graph::NodeId> scratch;
+        for (uint64_t id = lo; id < hi; ++id) {
+          Rng rng(HashSeed(seed, id));
+          sampler.SampleInto(rng, &scratch);
+          sizes->push_back(static_cast<uint32_t>(scratch.size()));
+          nodes->insert(nodes->end(), scratch.begin(), scratch.end());
+        }
+      });
   theta_ = schedule_.ThetaFor(1);
   collection_.AddSets(sampler_, theta_, {});
   if (options_.candidate_rule == CandidateRule::kPageRank) {
@@ -350,7 +375,8 @@ void AdvertiserEngine::BeginAsyncGrowth(uint64_t want_theta,
 
 void AdvertiserEngine::AdoptPendingGrowth(ThreadPool& pool) {
   pending_.task.Wait();  // rethrows a marshaled sampling exception
-  collection_.store()->AppendBatch(pending_.nodes, pending_.sizes, &pool);
+  collection_.store()->AppendBatch(pending_.nodes, pending_.sizes, &pool,
+                                   sampler_.base_seed());
   const bool need_deltas =
       options_.candidate_rule != CandidateRule::kPageRank;
   collection_.AdoptUpTo(pending_.want_theta, seeds_, &pool,

@@ -233,6 +233,13 @@ class AdvertiserEngine {
   /// already satisfied, typically because the schedule is cap-saturated) —
   /// the "growth idle" counter.
   uint64_t idle_revisions() const { return idle_revisions_; }
+  /// Called by the scheduler when it vetoes a wanted θ-growth because this
+  /// ad's store is in degraded (eviction-disabled) mode and over budget —
+  /// the ROADMAP admission policy. Selection continues on the current
+  /// sample; the next revision re-asks and is capped again while degraded.
+  void CountGrowthAdmissionCap() { ++growth_admission_caps_; }
+  /// θ-growths vetoed by the degraded-mode admission policy.
+  uint64_t growth_admission_caps() const { return growth_admission_caps_; }
   /// The θ schedule (pilot diagnostics via schedule().sizer()).
   const rrset::ThetaSchedule& schedule() const { return schedule_; }
   const rrset::RrCollection& collection() const { return collection_; }
@@ -287,6 +294,7 @@ class AdvertiserEngine {
   double payment_ = 0.0;
   uint64_t growth_events_ = 0;
   uint64_t idle_revisions_ = 0;
+  uint64_t growth_admission_caps_ = 0;
 
   CoverageHeap heap_;
   // Persistent top-w window (windowed cost-sensitive rule only).

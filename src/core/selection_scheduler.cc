@@ -12,7 +12,12 @@ SelectionScheduler::SelectionScheduler(
       options_(options),
       pool_(pool),
       ads_(ads),
-      spill_groups_(spill_groups) {}
+      spill_groups_(spill_groups) {
+  tier_of_ad_.assign(ads_.size(), nullptr);
+  for (StoreSpillGroup& g : spill_groups_) {
+    for (uint32_t j : g.ads) tier_of_ad_[j] = g.tier.get();
+  }
+}
 
 double SelectionScheduler::BudgetOf(uint32_t j) const {
   return options_.budget_override.empty() ? instance_.budget(j)
@@ -62,6 +67,18 @@ uint32_t SelectionScheduler::SelectAd() const {
 void SelectionScheduler::ScheduleGrowth(uint32_t j, uint64_t round) {
   const uint64_t want = ads_[j]->MaybeReviseLatentSize(BudgetOf(j));
   if (want == 0) return;
+  // Admission policy (degraded mode only): once the cold tier can no
+  // longer absorb evictions — a permanent spill-write failure disabled
+  // eviction — and the store already exceeds its budget, cap θ-growth
+  // instead of growing a footprint nothing can reclaim. Never engages on
+  // a healthy tier, so the budgeted ≡ unbudgeted bit-identity invariant
+  // is untouched outside injected-fault runs.
+  if (rrset::TieredRrStore* tier = tier_of_ad_[j];
+      tier != nullptr && tier->eviction_disabled() &&
+      tier->store()->MemoryBytes() > tier->options().rr_memory_budget_bytes) {
+    ads_[j]->CountGrowthAdmissionCap();
+    return;
+  }
   if (options_.async_growth && ads_[j]->async_capable()) {
     const uint64_t delay = std::max<uint32_t>(1, options_.growth_delay_rounds);
     ads_[j]->BeginAsyncGrowth(want, round + delay, pool_);

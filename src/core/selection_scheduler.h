@@ -96,7 +96,10 @@ class SelectionScheduler {
   /// oldest fully-adopted sets. Runs in group order; decisions depend
   /// only on deterministic state (see file comment).
   void MaybeSpillStores();
-  /// Stage 4 for the round's winner.
+  /// Stage 4 for the round's winner. In degraded mode (the ad's tier hit a
+  /// permanent spill-write failure and its store already exceeds the
+  /// budget) the growth is vetoed instead — the admission policy that
+  /// replaces eviction once the cold tier is gone.
   void ScheduleGrowth(uint32_t j, uint64_t round);
 
   const RmInstance& instance_;
@@ -104,6 +107,9 @@ class SelectionScheduler {
   ThreadPool& pool_;
   std::span<const std::unique_ptr<AdvertiserEngine>> ads_;
   std::span<StoreSpillGroup> spill_groups_;
+  /// tier_of_ad_[j] — the spill tier whose store ad j views, or nullptr
+  /// when the ad runs unbudgeted. Built once from spill_groups_.
+  std::vector<rrset::TieredRrStore*> tier_of_ad_;
   uint32_t round_robin_next_ = 0;
   uint64_t total_seeds_ = 0;
 };

@@ -224,13 +224,19 @@ Result<TiResult> RunTiGreedy(const RmInstance& instance,
       st.scan_reloads = store->scan_reloads();
       st.chunks_read = store->chunks_read();
       st.chunks_skipped = store->chunks_skipped();
+      st.spill_retries = store->spill_retries();
+      st.spill_retry_successes = store->spill_retry_successes();
+      st.degradation_events = store->degradation_events();
+      st.recovered_sets = store->recovered_sets();
       for (const StoreSpillGroup& g : spill_groups) {
         if (g.tier->store().get() == store) {
           st.rr_resident_peak_bytes = g.tier->meter().peak_bytes();
+          st.degradation_events += g.tier->degradation_events();
           break;
         }
       }
     }
+    st.growth_admission_caps = ad.growth_admission_caps();
     st.sample_growth_events = ad.growth_events();
     st.idle_growth_revisions = ad.idle_revisions();
     st.theta_cap_hits = ad.schedule().cap_hits();
@@ -250,6 +256,11 @@ Result<TiResult> RunTiGreedy(const RmInstance& instance,
     result.total_scan_reloads += st.scan_reloads;
     result.total_chunks_read += st.chunks_read;
     result.total_chunks_skipped += st.chunks_skipped;
+    result.total_spill_retries += st.spill_retries;
+    result.total_spill_retry_successes += st.spill_retry_successes;
+    result.total_degradation_events += st.degradation_events;
+    result.total_recovered_sets += st.recovered_sets;
+    result.total_growth_admission_caps += st.growth_admission_caps;
     result.total_growth_events += st.sample_growth_events;
     result.total_theta_cap_hits += st.theta_cap_hits;
     if (st.sample_growth_events > 0) {

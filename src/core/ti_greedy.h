@@ -192,6 +192,22 @@ struct TiAdStats {
   uint64_t chunks_read = 0;
   uint64_t chunks_skipped = 0;
   uint64_t rr_resident_peak_bytes = 0;
+  /// Failure handling (store counters charged to the first ad using the
+  /// store, like rr_memory_bytes; growth_admission_caps is per-ad).
+  /// spill_retries counts transient cold-tier I/O attempts that were
+  /// retried; spill_retry_successes the retries that then succeeded.
+  /// degradation_events counts permanent-fault degradations survived:
+  /// cold chunks rebuilt by re-sampling (read side) plus eviction
+  /// shutdowns after a spill-write failure (write side, via the tier).
+  /// recovered_sets is the number of RR sets re-sampled from recorded
+  /// substream seeds. growth_admission_caps counts θ-growth requests the
+  /// scheduler vetoed while the ad's store ran degraded over budget. All
+  /// 0 on a fault-free run.
+  uint64_t spill_retries = 0;
+  uint64_t spill_retry_successes = 0;
+  uint64_t degradation_events = 0;
+  uint64_t recovered_sets = 0;
+  uint64_t growth_admission_caps = 0;
   /// θ-schedule observability (see rrset/sample_sizer.h). Growth engaged =
   /// sample_growth_events > 0; idle Eq. 10 revisions mean the schedule was
   /// already satisfied (flat θ or cap saturation) when s̃ rose.
@@ -223,6 +239,15 @@ struct TiResult {
   uint64_t total_scan_reloads = 0;
   uint64_t total_chunks_read = 0;
   uint64_t total_chunks_skipped = 0;
+  /// Failure-handling totals (see TiAdStats; all 0 on a fault-free run).
+  /// degradation/recovery never change the computed fields above — a
+  /// fixed seed yields the same allocation/revenue/θ with or without
+  /// injected cold-tier faults; only these counters differ.
+  uint64_t total_spill_retries = 0;
+  uint64_t total_spill_retry_successes = 0;
+  uint64_t total_degradation_events = 0;
+  uint64_t total_recovered_sets = 0;
+  uint64_t total_growth_admission_caps = 0;
   /// Aggregate θ-growth observability: total adoptions, how many ads ever
   /// grew their sample past θ(1), and how many never did.
   uint64_t total_growth_events = 0;

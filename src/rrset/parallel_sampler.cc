@@ -1,8 +1,10 @@
 #include "rrset/parallel_sampler.h"
 
 #include <algorithm>
+#include <new>
 #include <thread>
 
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 
 namespace isa::rrset {
@@ -73,6 +75,10 @@ void ParallelSampler::SampleToBuffer(uint64_t first_id, uint64_t count,
   nodes->clear();
   sizes->clear();
   if (count == 0) return;
+  // "sampler.alloc" models the shard buffers failing to allocate — the
+  // same std::bad_alloc a real heap exhaustion would raise on the reserve
+  // calls below (on a pool task this marshals to the launcher's Wait).
+  if (FailPointHit("sampler.alloc") != 0) throw std::bad_alloc();
   const uint32_t workers = WorkerCountFor(count);
   if (workers_.size() < workers) workers_.resize(workers);
 
@@ -137,7 +143,10 @@ void ParallelSampler::SampleAppend(RrStore& store, uint64_t count) {
                              ? borrowed_pool_
                              : owned_pool_.get())
                       : pool();
-  store.AppendBatch(nodes, sizes, p);
+  // base_seed_ is recorded as the batch's provenance: every appended id is
+  // reproducible as Rng(HashSeed(base_seed_, id)), which is what lets the
+  // store re-sample a lost cold chunk (see RrStore::SetResampler).
+  store.AppendBatch(nodes, sizes, p, base_seed_);
 }
 
 }  // namespace isa::rrset

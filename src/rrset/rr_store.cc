@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/rng.h"
 #include "common/thread_pool.h"
 #include "rrset/spill_file.h"
 
@@ -63,8 +65,19 @@ void RrStore::ChainAppend(graph::NodeId v, uint32_t id) {
 }
 
 void RrStore::AppendBatch(std::span<const graph::NodeId> nodes,
-                          std::span<const uint32_t> sizes, ThreadPool* pool) {
+                          std::span<const uint32_t> sizes, ThreadPool* pool,
+                          std::optional<uint64_t> provenance_seed) {
   if (sizes.empty()) return;
+  if (provenance_seed.has_value()) {
+    const uint64_t lo = num_sets();
+    const uint64_t hi = lo + sizes.size();
+    if (!provenance_.empty() && provenance_.back().hi == lo &&
+        provenance_.back().seed == *provenance_seed) {
+      provenance_.back().hi = hi;  // coalesce consecutive same-seed appends
+    } else {
+      provenance_.push_back(ProvenanceRange{lo, hi, *provenance_seed});
+    }
+  }
   // No exact-size reserve here: it would pin capacity == size and force a
   // full reallocation on every incremental growth batch; push_back's
   // geometric growth amortizes across batches instead.
@@ -293,6 +306,7 @@ std::unique_ptr<RrStore::ColdScan> RrStore::StartColdScan(
   if (spill_ == nullptr) return nullptr;
   const std::span<const SpillFile::ChunkMeta> chunks = spill_->chunks();
   std::vector<uint32_t> cand;
+  std::vector<uint32_t> disk;  // cand minus the recovered-chunk cache
   uint64_t considered = 0;
   for (uint32_t i = 0; i < chunks.size(); ++i) {
     if (chunks[i].set_lo >= max_id) break;  // chunk ranges ascend
@@ -301,6 +315,7 @@ std::unique_ptr<RrStore::ColdScan> RrStore::StartColdScan(
     // node envelope + Bloom filter. No disk I/O on this path.
     if (!spill_->ChunkMightContain(i, v)) continue;
     cand.push_back(i);
+    if (!recovered_.contains(i)) disk.push_back(i);
   }
   if (considered == 0) return nullptr;
   ++scan_reloads_;
@@ -310,11 +325,76 @@ std::unique_ptr<RrStore::ColdScan> RrStore::StartColdScan(
   auto scan = std::make_unique<ColdScan>();
   scan->node = v;
   scan->max_id = max_id;
+  scan->chunks = std::move(cand);
   // The cursor issues the first chunk's read here; the bytes stream in
-  // while the caller runs whatever compute it wants to overlap.
-  scan->cursor =
-      std::make_unique<SpillChunkCursor>(*spill_, std::move(cand), pool);
+  // while the caller runs whatever compute it wants to overlap. Recovered
+  // chunks are served from the resident cache, never re-read from disk.
+  if (!disk.empty()) {
+    scan->cursor =
+        std::make_unique<SpillChunkCursor>(*spill_, std::move(disk), pool);
+  }
   return scan;
+}
+
+const RrStore::RecoveredChunk& RrStore::RecoverChunk(uint32_t chunk) const {
+  const auto it = recovered_.find(chunk);
+  if (it != recovered_.end()) return it->second;
+  const SpillFile::ChunkMeta& m = spill_->chunks()[chunk];
+  // "spill.resample" models a fault DURING recovery (heap exhaustion in
+  // the re-sampler, say) — the genuinely unrecoverable double-fault path.
+  if (FailPointHit("spill.resample") != 0) {
+    throw SpillIoError("RrStore: injected fault during chunk re-sample");
+  }
+  if (resampler_ == nullptr) {
+    throw SpillIoError(
+        "RrStore: unreadable spill chunk and no re-sampler installed");
+  }
+  RecoveredChunk rec;
+  rec.sizes.reserve(m.set_hi - m.set_lo);
+  rec.nodes.reserve(m.postings);
+  std::vector<uint32_t> part_sizes;
+  std::vector<graph::NodeId> part_nodes;
+  uint64_t pos = m.set_lo;
+  for (const ProvenanceRange& p : provenance_) {
+    if (p.hi <= pos) continue;
+    if (p.lo > pos) break;  // gap: ids [pos, p.lo) have no provenance
+    const uint64_t hi = std::min(p.hi, m.set_hi);
+    resampler_(p.seed, pos, hi, &part_sizes, &part_nodes);
+    rec.sizes.insert(rec.sizes.end(), part_sizes.begin(), part_sizes.end());
+    rec.nodes.insert(rec.nodes.end(), part_nodes.begin(), part_nodes.end());
+    pos = hi;
+    if (pos == m.set_hi) break;
+  }
+  if (pos != m.set_hi) {
+    throw SpillIoError(
+        "RrStore: unreadable spill chunk covers sets with no recorded "
+        "provenance seed (serially sampled batch)");
+  }
+  // Cross-check the regenerated columns against the chunk footer — a
+  // mismatch means the re-sampler does not reproduce the original bits,
+  // and serving it would silently corrupt the result.
+  graph::NodeId node_min = rec.nodes.empty() ? 0 : UINT32_MAX;
+  graph::NodeId node_max = 0;
+  for (graph::NodeId v : rec.nodes) {
+    node_min = std::min(node_min, v);
+    node_max = std::max(node_max, v);
+  }
+  if (rec.sizes.size() != m.set_hi - m.set_lo ||
+      rec.nodes.size() != m.postings || node_min != m.node_min ||
+      node_max != m.node_max) {
+    throw SpillIoError(
+        "RrStore: re-sampled chunk disagrees with its footer (provenance "
+        "seed or re-sampler mismatch)");
+  }
+  recovered_bytes_ += rec.sizes.capacity() * sizeof(uint32_t) +
+                      rec.nodes.capacity() * sizeof(graph::NodeId);
+  ++degradation_events_;
+  recovered_sets_ += m.set_hi - m.set_lo;
+  ISA_LOG("RrStore: recovered spill chunk %u (sets [%llu, %llu)) by "
+          "re-sampling",
+          chunk, static_cast<unsigned long long>(m.set_lo),
+          static_cast<unsigned long long>(m.set_hi));
+  return recovered_.emplace(chunk, std::move(rec)).first->second;
 }
 
 void RrStore::FinishColdScan(
@@ -322,11 +402,41 @@ void RrStore::FinishColdScan(
     const std::function<void(uint64_t, std::span<const graph::NodeId>)>& fn)
     const {
   const std::span<const SpillFile::ChunkMeta> chunks = spill_->chunks();
-  SpillChunkCursor& cursor = *scan.cursor;
-  while (cursor.Next()) {  // chunk k+1 prefetches while k is applied below
-    const SpillFile::ChunkMeta& m = chunks[cursor.chunk()];
-    const std::span<const uint32_t> sizes = cursor.sizes();
-    const std::span<const graph::NodeId> nodes = cursor.nodes();
+  std::vector<uint32_t> sizes_buf;
+  std::vector<graph::NodeId> nodes_buf;
+  for (const uint32_t c : scan.chunks) {
+    const SpillFile::ChunkMeta& m = chunks[c];
+    std::span<const uint32_t> sizes;
+    std::span<const graph::NodeId> nodes;
+    const auto cached = recovered_.find(c);
+    if (cached != recovered_.end()) {
+      sizes = cached->second.sizes;
+      nodes = cached->second.nodes;
+    } else if (scan.cursor != nullptr) {
+      try {
+        // chunk k+1 prefetches while k is applied below
+        const bool ok = scan.cursor->Next();
+        ISA_CHECK(ok && scan.cursor->chunk() == c);
+        sizes = scan.cursor->sizes();
+        nodes = scan.cursor->nodes();
+      } catch (const SpillIoError&) {
+        // Permanent read failure mid-pipeline: abandon the cursor (this
+        // chunk and every later disk chunk fall through to the per-chunk
+        // path below — one fresh re-read, then re-sample recovery).
+        scan.cursor.reset();
+      }
+    }
+    if (sizes.data() == nullptr) {
+      try {
+        spill_->ReadChunk(c, &sizes_buf, &nodes_buf);
+        sizes = sizes_buf;
+        nodes = nodes_buf;
+      } catch (const SpillIoError&) {
+        const RecoveredChunk& rec = RecoverChunk(c);
+        sizes = rec.sizes;
+        nodes = rec.nodes;
+      }
+    }
     uint64_t off = 0;
     for (uint64_t s = 0; s < sizes.size(); ++s) {
       const uint64_t id = m.set_lo + s;
@@ -362,6 +472,14 @@ uint64_t RrStore::SpilledBytes() const {
   return spill_ == nullptr ? 0 : spill_->bytes_on_disk();
 }
 
+uint64_t RrStore::spill_retries() const {
+  return spill_ == nullptr ? 0 : spill_->retries();
+}
+
+uint64_t RrStore::spill_retry_successes() const {
+  return spill_ == nullptr ? 0 : spill_->retry_successes();
+}
+
 uint64_t RrStore::SpillChunks() const {
   return spill_ == nullptr ? 0 : spill_->num_chunks();
 }
@@ -372,7 +490,7 @@ uint64_t RrStore::MemoryBytes() const {
   return rr_offsets_.capacity() * sizeof(uint64_t) +
          rr_nodes_.capacity() * sizeof(graph::NodeId) + IndexBytes() +
          scratch_.capacity() * sizeof(graph::NodeId) +
-         (spill_ == nullptr ? 0 : spill_->MetadataBytes());
+         (spill_ == nullptr ? 0 : spill_->MetadataBytes()) + recovered_bytes_;
 }
 
 uint64_t RrStore::IndexBytes() const {

@@ -44,7 +44,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -90,9 +92,15 @@ class RrStore {
   /// from the concatenated `nodes`. Used by ParallelSampler's batch merge.
   /// When `pool` is given, a compaction triggered by the batch builds the
   /// index sharded across the pool (bit-identical to the serial build).
+  /// `provenance_seed`, when present, records that every appended id is
+  /// reproducible as Rng(HashSeed(provenance_seed, id)) — the substream
+  /// contract of ParallelSampler — which makes the ids recoverable by
+  /// re-sampling if their spill chunk later becomes unreadable. Batches
+  /// appended without provenance (the serial sequential-Rng path) are not
+  /// recoverable; a lost chunk over them is a permanent SpillIoError.
   void AppendBatch(std::span<const graph::NodeId> nodes,
-                   std::span<const uint32_t> sizes,
-                   ThreadPool* pool = nullptr);
+                   std::span<const uint32_t> sizes, ThreadPool* pool = nullptr,
+                   std::optional<uint64_t> provenance_seed = std::nullopt);
 
   /// Total sets ever appended (hot + spilled).
   uint64_t num_sets() const {
@@ -180,8 +188,10 @@ class RrStore {
   /// alive filter, so already-covered sets — the common case among old
   /// spilled sets — cost nothing beyond the chunk read). Counters: one
   /// scan_reloads() tick per call that consulted the cold tier; each
-  /// considered chunk lands in chunks_read() or chunks_skipped().
-  /// Propagates SpillIoError on a failed chunk read.
+  /// considered chunk lands in chunks_read() or chunks_skipped(). A chunk
+  /// whose read permanently fails is healed in place — re-read once, then
+  /// re-sampled from provenance (see SetResampler) — so SpillIoError
+  /// escapes only when recovery itself is impossible.
   void ForEachSpilledSetContaining(
       graph::NodeId v, uint64_t max_id, ThreadPool* pool,
       const std::function<bool(uint64_t)>& candidate,
@@ -197,6 +207,10 @@ class RrStore {
     ~ColdScan();
     graph::NodeId node = 0;
     uint64_t max_id = 0;
+    /// Every candidate chunk, ascending. Chunks already in the recovery
+    /// cache are served from memory; the rest stream through `cursor`
+    /// (which covers exactly the non-recovered subset, in order).
+    std::vector<uint32_t> chunks;
     std::unique_ptr<SpillChunkCursor> cursor;
   };
 
@@ -214,6 +228,36 @@ class RrStore {
       const std::function<void(uint64_t, std::span<const graph::NodeId>)>&
           fn) const;
 
+  // ---- Self-healing (re-sample recovery of unreadable cold chunks). ----
+
+  /// Regenerates sets [lo, hi) from their recorded provenance seed:
+  /// `sizes` gets one cardinality per id, `nodes` the concatenated
+  /// members, both cleared first — the AppendBatch shape. Must reproduce
+  /// the ORIGINAL bits: implementations draw Rng(HashSeed(seed, id)) per
+  /// id, exactly like ParallelSampler::SampleRange.
+  using ResampleFn = std::function<void(
+      uint64_t seed, uint64_t lo, uint64_t hi, std::vector<uint32_t>* sizes,
+      std::vector<graph::NodeId>* nodes)>;
+
+  /// Installs the re-sampler used to recover a cold chunk whose disk read
+  /// permanently failed (AdvertiserEngine registers one capturing its
+  /// graph + probabilities; any member of a share_samples group works —
+  /// their Eq. 1 probabilities are bitwise identical, and per-range
+  /// provenance seeds carry the per-ad substream). The callable must stay
+  /// valid for every future cold scan. Without one, a permanent cold-read
+  /// fault propagates as SpillIoError (the pre-recovery fail-stop path).
+  void SetResampler(ResampleFn fn) { resampler_ = std::move(fn); }
+
+  /// Recovery events: unreadable chunks healed by re-sampling (one event
+  /// per chunk) and the total sets regenerated. Recovered chunks live in a
+  /// resident cache (charged to MemoryBytes) and are never read from disk
+  /// again.
+  uint64_t degradation_events() const { return degradation_events_; }
+  uint64_t recovered_sets() const { return recovered_sets_; }
+  /// Bounded-retry counters of the spill I/O layer (see SpillFile).
+  uint64_t spill_retries() const;
+  uint64_t spill_retry_successes() const;
+
   /// Bytes of this store's sets on disk (0 = never spilled). Non-resident:
   /// excluded from MemoryBytes, reported separately for Table 3.
   uint64_t SpilledBytes() const;
@@ -222,7 +266,8 @@ class RrStore {
   /// Cold-tier scan passes: coverage-removal scans that had at least one
   /// chunk overlapping their id range (whether or not any chunk was read).
   uint64_t scan_reloads() const { return scan_reloads_; }
-  /// Chunks fetched from disk across all scans.
+  /// Chunks fetched across all scans — from disk or, after a recovery,
+  /// from the resident recovered-chunk cache.
   uint64_t chunks_read() const { return chunks_read_; }
   /// Overlapping chunks skipped without disk I/O (envelope or Bloom miss).
   uint64_t chunks_skipped() const { return chunks_skipped_; }
@@ -290,6 +335,33 @@ class RrStore {
   mutable uint64_t scan_reloads_ = 0;
   mutable uint64_t chunks_read_ = 0;
   mutable uint64_t chunks_skipped_ = 0;
+
+  // ---- re-sample recovery state ----
+
+  // Which provenance seed regenerates which id range. Ranges ascend, tile
+  // without gaps among themselves (consecutive same-seed appends coalesce),
+  // but need not cover every id: serially sampled batches record nothing.
+  struct ProvenanceRange {
+    uint64_t lo;
+    uint64_t hi;
+    uint64_t seed;
+  };
+  std::vector<ProvenanceRange> provenance_;
+  ResampleFn resampler_;
+
+  // A chunk healed by re-sampling: its columns, resident for the rest of
+  // the run (the disk copy is presumed bad forever). Keyed by chunk index.
+  // Like the scan counters, this state mutates on const scans and is only
+  // touched from the single thread draining FinishColdScan.
+  struct RecoveredChunk {
+    std::vector<uint32_t> sizes;
+    std::vector<graph::NodeId> nodes;
+  };
+  const RecoveredChunk& RecoverChunk(uint32_t chunk) const;
+  mutable std::map<uint32_t, RecoveredChunk> recovered_;
+  mutable uint64_t recovered_bytes_ = 0;  // cache footprint, in MemoryBytes
+  mutable uint64_t degradation_events_ = 0;
+  mutable uint64_t recovered_sets_ = 0;
 };
 
 }  // namespace isa::rrset

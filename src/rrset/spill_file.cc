@@ -9,7 +9,9 @@
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
+#include <thread>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 
@@ -36,21 +38,6 @@ static_assert(sizeof(DiskFooter) == 56);
 constexpr uint32_t kFooterMagic = 0x32415349;  // "ISA2"
 constexpr uint32_t kFooterVersion = 2;
 
-// ---- test-only fault injection (see ArmReadFaultForTest) ----
-std::atomic<int64_t> g_read_fault_countdown{0};
-std::atomic<int> g_read_fault_errno{EIO};
-std::atomic<int64_t> g_write_fault_countdown{0};
-std::atomic<int> g_write_fault_errno{ENOSPC};
-
-// Ticks one I/O against the armed fault; returns the errno to inject on
-// the firing tick, else 0.
-int TakeFault(std::atomic<int64_t>& countdown, std::atomic<int>& error) {
-  if (countdown.load(std::memory_order_relaxed) <= 0) return 0;
-  return countdown.fetch_sub(1, std::memory_order_relaxed) == 1
-             ? error.load(std::memory_order_relaxed)
-             : 0;
-}
-
 [[noreturn]] void ThrowIo(const char* op, const char* path,
                           const char* detail) {
   ISA_LOG("SpillFile: %s(%s) failed: %s", op, path, detail);
@@ -58,40 +45,64 @@ int TakeFault(std::atomic<int64_t>& countdown, std::atomic<int>& error) {
                      ") failed: " + detail);
 }
 
-void PwriteAll(int fd, const void* data, size_t len, uint64_t offset,
-               const char* path) {
-  if (const int e = TakeFault(g_write_fault_countdown, g_write_fault_errno)) {
-    ThrowIo("pwrite", path, std::strerror(e));
-  }
+const char* IoErrorDetail(int err) {
+  return err == kFailPointEof ? "unexpected EOF" : std::strerror(err);
+}
+
+// ---- bounded retry layer ----
+//
+// Fault taxonomy: EINTR is retried unboundedly inside the once-functions
+// (it is a non-fault); EAGAIN/ENOMEM/EBUSY/ETIMEDOUT are TRANSIENT and
+// retried up to kMaxIoAttempts with a deterministic yield backoff;
+// everything else — EIO, ENOSPC, EOF-before-length — is PERMANENT and
+// fails immediately. No wall clock feeds any retry decision, so a fixed
+// failpoint spec produces the same attempt sequence in every run.
+
+constexpr int kMaxIoAttempts = 4;
+
+bool TransientIoError(int err) {
+  return err == EAGAIN || err == EWOULDBLOCK || err == ENOMEM ||
+         err == EBUSY || err == ETIMEDOUT;
+}
+
+void BackoffYield(int attempt) {
+  // Donates exponentially more time slices per attempt; the yield count is
+  // a pure function of the attempt number, never of elapsed time.
+  for (int i = 0; i < (1 << attempt); ++i) std::this_thread::yield();
+}
+
+// pwrite/pread the full range once. Returns 0 on success, a positive
+// errno, or kFailPointEof for EOF before the requested length; EINTR is
+// absorbed internally.
+int PwriteOnce(int fd, const void* data, size_t len, uint64_t offset) {
   const char* p = static_cast<const char*>(data);
   while (len > 0) {
     const ssize_t n = ::pwrite(fd, p, len, static_cast<off_t>(offset));
     if (n < 0) {
       if (errno == EINTR) continue;
-      ThrowIo("pwrite", path, std::strerror(errno));
+      return errno;
     }
     p += n;
     len -= static_cast<size_t>(n);
     offset += static_cast<uint64_t>(n);
   }
+  return 0;
 }
 
-void PreadAll(int fd, void* data, size_t len, uint64_t offset,
-              const char* path) {
-  if (const int e = TakeFault(g_read_fault_countdown, g_read_fault_errno)) {
-    ThrowIo("pread", path, std::strerror(e));
-  }
+int PreadOnce(int fd, void* data, size_t len, uint64_t offset) {
   char* p = static_cast<char*>(data);
   while (len > 0) {
     const ssize_t n = ::pread(fd, p, len, static_cast<off_t>(offset));
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      ThrowIo("pread", path, n == 0 ? "unexpected EOF" : std::strerror(errno));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno;
     }
+    if (n == 0) return kFailPointEof;
     p += n;
     len -= static_cast<size_t>(n);
     offset += static_cast<uint64_t>(n);
   }
+  return 0;
 }
 
 // ---- Bloom filter (k = 3 by double hashing over a power-of-two size) ----
@@ -131,14 +142,36 @@ bool BloomMayContain(std::span<const uint64_t> bloom, graph::NodeId v) {
 
 }  // namespace
 
-void SpillFile::ArmReadFaultForTest(int64_t countdown, int error) {
-  g_read_fault_errno.store(error, std::memory_order_relaxed);
-  g_read_fault_countdown.store(countdown, std::memory_order_relaxed);
+void SpillFile::WriteAll(const void* data, size_t len, uint64_t offset) {
+  for (int attempt = 0;; ++attempt) {
+    int err = FailPointHit("spill.write");
+    if (err == 0) err = PwriteOnce(fd_, data, len, offset);
+    if (err == 0) {
+      if (attempt > 0) retry_successes_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (!TransientIoError(err) || attempt + 1 >= kMaxIoAttempts) {
+      ThrowIo("pwrite", path_.c_str(), IoErrorDetail(err));
+    }
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    BackoffYield(attempt);
+  }
 }
 
-void SpillFile::ArmWriteFaultForTest(int64_t countdown, int error) {
-  g_write_fault_errno.store(error, std::memory_order_relaxed);
-  g_write_fault_countdown.store(countdown, std::memory_order_relaxed);
+void SpillFile::ReadAll(void* data, size_t len, uint64_t offset) const {
+  for (int attempt = 0;; ++attempt) {
+    int err = FailPointHit("spill.read");
+    if (err == 0) err = PreadOnce(fd_, data, len, offset);
+    if (err == 0) {
+      if (attempt > 0) retry_successes_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (!TransientIoError(err) || attempt + 1 >= kMaxIoAttempts) {
+      ThrowIo("pread", path_.c_str(), IoErrorDetail(err));
+    }
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    BackoffYield(attempt);
+  }
 }
 
 std::string MakeSpillPath(const std::string& dir) {
@@ -212,13 +245,13 @@ void SpillFile::AppendChunk(uint64_t set_lo, uint64_t set_hi,
     for (graph::NodeId v : nodes) BloomInsert(meta.bloom, v);
   }
 
-  PwriteAll(fd_, sizes.data(), sizes.size_bytes(), bytes_, path_.c_str());
+  WriteAll(sizes.data(), sizes.size_bytes(), bytes_);
   bytes_ += sizes.size_bytes();
-  PwriteAll(fd_, nodes.data(), nodes.size_bytes(), bytes_, path_.c_str());
+  WriteAll(nodes.data(), nodes.size_bytes(), bytes_);
   bytes_ += nodes.size_bytes();
   const uint64_t bloom_bytes = meta.bloom.size() * sizeof(uint64_t);
   if (bloom_bytes > 0) {
-    PwriteAll(fd_, meta.bloom.data(), bloom_bytes, bytes_, path_.c_str());
+    WriteAll(meta.bloom.data(), bloom_bytes, bytes_);
     bytes_ += bloom_bytes;
   }
   const DiskFooter footer{meta.set_lo,
@@ -230,7 +263,7 @@ void SpillFile::AppendChunk(uint64_t set_lo, uint64_t set_hi,
                           static_cast<uint64_t>(meta.bloom.size()),
                           kFooterVersion,
                           kFooterMagic};
-  PwriteAll(fd_, &footer, sizeof(footer), bytes_, path_.c_str());
+  WriteAll(&footer, sizeof(footer), bytes_);
   bytes_ += sizeof(footer);
   bloom_bytes_ += meta.bloom.capacity() * sizeof(uint64_t);
   chunks_.push_back(std::move(meta));
@@ -241,10 +274,9 @@ void SpillFile::ReadChunk(size_t chunk, std::vector<uint32_t>* sizes,
   const ChunkMeta& meta = chunks_[chunk];
   sizes->resize(meta.set_hi - meta.set_lo);
   nodes->resize(meta.postings);
-  PreadAll(fd_, sizes->data(), sizes->size() * sizeof(uint32_t),
-           meta.file_offset, path_.c_str());
-  PreadAll(fd_, nodes->data(), nodes->size() * sizeof(graph::NodeId),
-           meta.file_offset + sizes->size() * sizeof(uint32_t), path_.c_str());
+  ReadAll(sizes->data(), sizes->size() * sizeof(uint32_t), meta.file_offset);
+  ReadAll(nodes->data(), nodes->size() * sizeof(graph::NodeId),
+          meta.file_offset + sizes->size() * sizeof(uint32_t));
 }
 
 bool SpillFile::ChunkMightContain(size_t chunk, graph::NodeId v) const {
@@ -274,13 +306,27 @@ void SpillChunkCursor::IssueRead(size_t idx) {
 
 bool SpillChunkCursor::Next() {
   if (pos_ == chunks_.size()) return false;
-  const int err = reader_.Wait();
-  if (const int e = TakeFault(g_read_fault_countdown, g_read_fault_errno)) {
-    ThrowIo("read", file_.path_.c_str(), std::strerror(e));
+  const SpillFile::ChunkMeta& meta = file_.chunks_[chunks_[pos_]];
+  int err = reader_.Wait();
+  if (const int e = FailPointHit("spill.read")) err = e;
+  // A transiently failed chunk is re-read synchronously — the pipeline's
+  // overlap is lost for one chunk, its bytes and apply order are not.
+  for (int attempt = 1;
+       err != 0 && TransientIoError(err) && attempt < kMaxIoAttempts;
+       ++attempt) {
+    file_.retries_.fetch_add(1, std::memory_order_relaxed);
+    BackoffYield(attempt - 1);
+    err = FailPointHit("spill.read");
+    if (err == 0) {
+      err = PreadOnce(file_.fd_, buf_[pos_ & 1].data(), meta.PayloadBytes(),
+                      meta.file_offset);
+    }
+    if (err == 0) {
+      file_.retry_successes_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   if (err != 0) {
-    ThrowIo("read", file_.path_.c_str(),
-            err == -1 ? "unexpected EOF" : std::strerror(err));
+    ThrowIo("read", file_.path_.c_str(), IoErrorDetail(err));
   }
   ++pos_;
   // The pipeline: the NEXT chunk's bytes stream in while the caller

@@ -32,6 +32,7 @@
 #ifndef ISA_RRSET_SPILL_FILE_H_
 #define ISA_RRSET_SPILL_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <stdexcept>
@@ -47,11 +48,13 @@ class ThreadPool;
 
 namespace isa::rrset {
 
-/// Thrown when the spill file cannot be created, written or read (ENOSPC
-/// while evicting is the realistic case). The TI driver converts it to
-/// Status::ResourceExhausted, exactly like a pool-task std::bad_alloc —
-/// disk exhaustion in the cold tier is the same recoverable condition as
-/// heap exhaustion in the hot one.
+/// Thrown when the spill file cannot be created, written or read after the
+/// bounded retry layer gives up (ENOSPC while evicting, EIO on a chunk
+/// read). The tiers above degrade instead of dying where they can —
+/// TieredRrStore disables eviction on a write failure, RrStore re-samples
+/// a lost chunk on a read failure — and only a genuinely unrecoverable
+/// fault propagates to the TI driver, which converts it to
+/// Status::ResourceExhausted, exactly like a pool-task std::bad_alloc.
 class SpillIoError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
@@ -154,16 +157,26 @@ class SpillFile {
 
   const std::string& path() const { return path_; }
 
-  /// Test-only fault injection, process-wide: the `countdown`-th
-  /// subsequent spill read (or write) fails with errno `error`, then the
-  /// hook disarms. Countdown 0 disarms immediately. Reads tick once per
-  /// chunk fetched through SpillChunkCursor and once per pread in
-  /// ReadChunk. Arm from a single thread with no scans in flight.
-  static void ArmReadFaultForTest(int64_t countdown, int error);
-  static void ArmWriteFaultForTest(int64_t countdown, int error);
+  /// Transient-fault retries issued by the bounded retry layer (reads and
+  /// writes combined) and how many of them ultimately succeeded. A
+  /// permanent fault (EIO, ENOSPC, EOF) never retries; a transient one
+  /// (EAGAIN, ENOMEM, EBUSY, ...) retries up to a fixed attempt cap with
+  /// a deterministic yield backoff — no wall clock feeds the decision.
+  uint64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+  uint64_t retry_successes() const {
+    return retry_successes_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class SpillChunkCursor;
+
+  // pwrite/pread the full range with failpoint hooks ("spill.write" /
+  // "spill.read") and bounded transient retries; throws SpillIoError when
+  // the retry budget runs out or the fault is permanent.
+  void WriteAll(const void* data, size_t len, uint64_t offset);
+  void ReadAll(void* data, size_t len, uint64_t offset) const;
 
   std::string path_;
   int fd_ = -1;
@@ -172,6 +185,8 @@ class SpillFile {
   uint64_t bloom_bytes_ = 0;  // resident bytes of the mirrored filters
   std::vector<ChunkMeta> chunks_;
   std::vector<graph::NodeId> distinct_scratch_;  // AppendChunk's sort buffer
+  mutable std::atomic<uint64_t> retries_{0};
+  mutable std::atomic<uint64_t> retry_successes_{0};
 };
 
 /// Pipelined reader over an ascending list of a SpillFile's chunk indices:
@@ -192,8 +207,11 @@ class SpillChunkCursor {
 
   /// Advances to the next chunk in the list, blocking only until ITS bytes
   /// landed (the following chunk's read is then started). Returns false
-  /// when the list is exhausted. Throws SpillIoError on a failed or short
-  /// read. The spans below are valid until the next call.
+  /// when the list is exhausted. A transiently failed read is retried
+  /// synchronously up to the file's retry budget; a permanent failure (or
+  /// exhausted budget) throws SpillIoError — the caller may then still
+  /// recover the remaining chunks per-chunk (see RrStore::FinishColdScan).
+  /// The spans below are valid until the next call.
   bool Next();
 
   /// Index (into file.chunks()) of the chunk Next() delivered.

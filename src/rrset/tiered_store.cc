@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
 #include "common/thread_pool.h"
 
 namespace isa::rrset {
@@ -21,7 +22,8 @@ void TieredRrStore::MaybeSpill(uint64_t max_evictable, ThreadPool* pool) {
   if (!enabled()) return;
   const uint64_t budget = options_.rr_memory_budget_bytes;
   const uint64_t resident = store_->MemoryBytes();
-  if (resident > budget && max_evictable > store_->first_resident_set()) {
+  if (!eviction_disabled_ && resident > budget &&
+      max_evictable > store_->first_resident_set()) {
     // Walk the eviction frontier forward until the estimated reclaim
     // covers the overshoot. Each evicted set frees its members (4 B per
     // posting), its inverted-index posting (~4 B each in the CSR base)
@@ -40,8 +42,24 @@ void TieredRrStore::MaybeSpill(uint64_t max_evictable, ThreadPool* pool) {
                sizeof(uint64_t);
       ++new_first;
     }
-    store_->SpillPrefix(new_first, spill_options_, pool);
-    ++spill_events_;
+    try {
+      store_->SpillPrefix(new_first, spill_options_, pool);
+      ++spill_events_;
+    } catch (const SpillIoError& e) {
+      // Permanent write failure (ENOSPC after the bounded retries). A
+      // mid-eviction throw leaves the resident state untouched — the
+      // resident columns only shrink AFTER every chunk of an eviction
+      // landed on disk — so the store is still fully consistent; any
+      // orphan chunks already written are never scanned (scans cap at
+      // first_resident_set). Degrade: stop evicting, finish resident, and
+      // let the scheduler's admission policy cap θ-growth instead of
+      // aborting the run.
+      eviction_disabled_ = true;
+      ++degradation_events_;
+      ISA_LOG("TieredRrStore: spill write failed (%s); eviction disabled, "
+              "finishing resident",
+              e.what());
+    }
   }
   meter_.Set(store_->MemoryBytes());
   meter_.SetSpilled(store_->SpilledBytes());

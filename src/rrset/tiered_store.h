@@ -68,6 +68,15 @@ class TieredRrStore {
   /// MaybeSpill calls that actually evicted something.
   uint64_t spill_events() const { return spill_events_; }
 
+  /// True after a permanent spill-write failure (ENOSPC after retries):
+  /// the cold tier can no longer absorb evictions, so MaybeSpill becomes
+  /// a no-op and the run finishes resident. The selection scheduler
+  /// additionally engages the admission policy — θ-growth is capped while
+  /// the resident footprint exceeds the budget — instead of aborting.
+  bool eviction_disabled() const { return eviction_disabled_; }
+  /// Write-side degradations: transitions into eviction_disabled (0 or 1).
+  uint64_t degradation_events() const { return degradation_events_; }
+
   /// Resident (current/peak) and spilled bytes as observed at the barrier
   /// checks — the honest Table 3 numbers: peak_bytes() is the RSS-like
   /// resident peak, spilled_bytes() the cold tier on disk.
@@ -82,6 +91,8 @@ class TieredRrStore {
   SpillOptions spill_options_;
   MemoryMeter meter_;
   uint64_t spill_events_ = 0;
+  bool eviction_disabled_ = false;
+  uint64_t degradation_events_ = 0;
 };
 
 }  // namespace isa::rrset

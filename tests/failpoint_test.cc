@@ -1,0 +1,163 @@
+// The FailPoints registry: spec-grammar parsing (valid and invalid), the
+// three deterministic trigger schedules (Nth hit, every-K, seeded
+// probability), payload mapping, first-firing-entry-wins stacking, and
+// the TotalFires diagnostic. Everything here is pure registry behavior —
+// the instrumented production sites are exercised by the spill/recovery
+// and chaos suites.
+
+#include <algorithm>
+#include <cerrno>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "gtest/gtest.h"
+
+namespace isa {
+namespace {
+
+using Spec = FailPoints::Spec;
+
+// Every test leaves the process-wide registry empty.
+struct FailPointGuard {
+  FailPointGuard() { FailPoints::Clear(); }
+  ~FailPointGuard() { FailPoints::Clear(); }
+};
+
+TEST(FailPointTest, ParseValidSpec) {
+  auto parsed = FailPoints::Parse(
+      "spill.read.eio@3, spill.write.enospc@every:2 ,"
+      "pool.alloc.throw@1,async.complete.eof@p:0.25:77,");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const std::vector<Spec>& specs = parsed.value();
+  ASSERT_EQ(specs.size(), 4u);
+
+  EXPECT_EQ(specs[0].site, "spill.read");
+  EXPECT_EQ(specs[0].payload, EIO);
+  EXPECT_EQ(specs[0].trigger, Spec::Trigger::kNth);
+  EXPECT_EQ(specs[0].n, 3u);
+
+  EXPECT_EQ(specs[1].site, "spill.write");
+  EXPECT_EQ(specs[1].payload, ENOSPC);
+  EXPECT_EQ(specs[1].trigger, Spec::Trigger::kEvery);
+  EXPECT_EQ(specs[1].n, 2u);
+
+  EXPECT_EQ(specs[2].site, "pool.alloc");
+  EXPECT_EQ(specs[2].payload, kFailPointThrow);
+
+  EXPECT_EQ(specs[3].site, "async.complete");
+  EXPECT_EQ(specs[3].payload, kFailPointEof);
+  EXPECT_EQ(specs[3].trigger, Spec::Trigger::kProb);
+  EXPECT_DOUBLE_EQ(specs[3].p, 0.25);
+  EXPECT_EQ(specs[3].seed, 77u);
+}
+
+TEST(FailPointTest, ParseEmptySpecIsEmptyList) {
+  auto parsed = FailPoints::Parse("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().empty());
+  // Stray commas alone are also fine.
+  auto commas = FailPoints::Parse(" , ,");
+  ASSERT_TRUE(commas.ok());
+  EXPECT_TRUE(commas.value().empty());
+}
+
+TEST(FailPointTest, ParseRejectsBadEntries) {
+  // One bad entry fails the whole spec, naming the entry.
+  for (const char* bad :
+       {"spill.read.eio",            // no @trigger
+        "spill.read@1",              // no .kind
+        ".eio@1",                    // empty site
+        "spill.read.@1",             // empty kind
+        "spill.read.ebadf@1",        // unknown kind
+        "spill.read.eio@0",          // Nth must be >= 1
+        "spill.read.eio@x",          // non-numeric trigger
+        "spill.read.eio@every:0",    // period must be >= 1
+        "spill.read.eio@every:abc",  // non-numeric period
+        "spill.read.eio@p:0.5",      // probability without seed
+        "spill.read.eio@p:1.5:3",    // probability out of range
+        "spill.read.eio@p:0.5:zz",   // non-numeric seed
+        "ok.entry.eio@1,spill.read.eio"}) {
+    auto parsed = FailPoints::Parse(bad);
+    EXPECT_FALSE(parsed.ok()) << bad;
+  }
+}
+
+TEST(FailPointTest, ArmingBadSpecArmsNothing) {
+  FailPointGuard guard;
+  EXPECT_FALSE(FailPoints::Arm("x.y.eio@1,broken").ok());
+  // The valid leading entry must NOT have been armed.
+  EXPECT_EQ(FailPointHit("x.y"), 0);
+}
+
+TEST(FailPointTest, NthTriggerFiresExactlyOnce) {
+  FailPointGuard guard;
+  ASSERT_TRUE(FailPoints::Arm("t.nth.eio@3").ok());
+  for (int hit = 1; hit <= 10; ++hit) {
+    EXPECT_EQ(FailPointHit("t.nth"), hit == 3 ? EIO : 0) << "hit " << hit;
+  }
+  // Other sites never tick this entry's counter.
+  EXPECT_EQ(FailPointHit("t.other"), 0);
+  EXPECT_EQ(FailPoints::TotalFires(), 1u);
+}
+
+TEST(FailPointTest, EveryKTriggerFiresPeriodically) {
+  FailPointGuard guard;
+  ASSERT_TRUE(FailPoints::Arm("t.every.enospc@every:3").ok());
+  for (int hit = 1; hit <= 9; ++hit) {
+    EXPECT_EQ(FailPointHit("t.every"), hit % 3 == 0 ? ENOSPC : 0)
+        << "hit " << hit;
+  }
+  EXPECT_EQ(FailPoints::TotalFires(), 3u);
+}
+
+TEST(FailPointTest, ProbabilityTriggerIsDeterministic) {
+  FailPointGuard guard;
+  // The same spec must fire at exactly the same hit indices across runs —
+  // the property that makes a seeded chaos schedule reproducible.
+  std::vector<bool> first, second;
+  ASSERT_TRUE(FailPoints::Arm("t.prob.eio@p:0.3:42").ok());
+  for (int hit = 0; hit < 200; ++hit) first.push_back(FailPointHit("t.prob"));
+  FailPoints::Clear();
+  ASSERT_TRUE(FailPoints::Arm("t.prob.eio@p:0.3:42").ok());
+  for (int hit = 0; hit < 200; ++hit) second.push_back(FailPointHit("t.prob"));
+  EXPECT_EQ(first, second);
+  // p ≈ 0.3 should actually fire sometimes and skip sometimes.
+  const size_t fires = std::count(first.begin(), first.end(), true);
+  EXPECT_GT(fires, 0u);
+  EXPECT_LT(fires, first.size());
+
+  // The degenerate probabilities are exact.
+  FailPoints::Clear();
+  ASSERT_TRUE(FailPoints::Arm("t.always.eio@p:1:1,t.never.eio@p:0:1").ok());
+  for (int hit = 0; hit < 50; ++hit) {
+    EXPECT_EQ(FailPointHit("t.always"), EIO);
+    EXPECT_EQ(FailPointHit("t.never"), 0);
+  }
+}
+
+TEST(FailPointTest, FirstFiringEntryWinsButAllCount) {
+  FailPointGuard guard;
+  // Two entries on one site: arm order decides the payload when both fire
+  // on the same hit; fires are tallied for both.
+  ASSERT_TRUE(FailPoints::Arm("t.stack.eio@every:1").ok());
+  ASSERT_TRUE(FailPoints::Arm("t.stack.enospc@every:1").ok());
+  EXPECT_EQ(FailPointHit("t.stack"), EIO);
+  EXPECT_EQ(FailPoints::TotalFires(), 2u);
+}
+
+TEST(FailPointTest, ClearDisarmsEverything) {
+  FailPointGuard guard;
+  ASSERT_TRUE(FailPoints::Arm("t.clear.eio@every:1").ok());
+  EXPECT_EQ(FailPointHit("t.clear"), EIO);
+  FailPoints::Clear();
+  EXPECT_EQ(FailPointHit("t.clear"), 0);
+  EXPECT_EQ(FailPoints::TotalFires(), 0u);
+  // Re-arming restarts the hit counter from zero.
+  ASSERT_TRUE(FailPoints::Arm("t.clear.eio@2").ok());
+  EXPECT_EQ(FailPointHit("t.clear"), 0);
+  EXPECT_EQ(FailPointHit("t.clear"), EIO);
+}
+
+}  // namespace
+}  // namespace isa

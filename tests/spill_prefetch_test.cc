@@ -2,10 +2,14 @@
 // exclusive spill-file creation (no truncation/symlink following), the
 // per-chunk Bloom filters and their scan counters, the SpillChunkCursor
 // prefetch pipeline across every I/O backend (io_uring / pool pread /
-// sync), fault injection on the READ side (EOF, EIO, ENOSPC must surface
-// as SpillIoError → Status::ResourceExhausted), and the end-to-end
-// invariant: a fixed seed yields a bit-identical TiResult with the
-// prefetch on or off, on any backend, at 1/2/8 threads.
+// sync), fault injection via the FailPoints registry (truncation/EOF is a
+// permanent unit-level SpillIoError; a permanent cold-read fault mid-run
+// is RECOVERED by re-sampling, a spill-write ENOSPC degrades to resident
+// completion, and only an unrecoverable double fault still surfaces as
+// Status::ResourceExhausted), and the end-to-end invariant: a fixed seed
+// yields a bit-identical TiResult with the prefetch on or off, on any
+// backend, at 1/2/8 threads. Recovery bit-identity and the failure
+// counters are covered in depth by spill_recovery_test.cc.
 
 #include <fcntl.h>
 #include <sys/stat.h>
@@ -18,6 +22,7 @@
 #include <vector>
 
 #include "common/async_io.h"
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "core/ti_greedy.h"
 #include "graph/generators.h"
@@ -76,13 +81,12 @@ std::string ReadFile(const std::string& path) {
   return out.str();
 }
 
-// Restores the process-wide backend override (and any armed fault) no
-// matter how a test exits.
+// Restores the process-wide backend override (and any armed failpoints)
+// no matter how a test exits.
 struct IoStateGuard {
   ~IoStateGuard() {
     SetAsyncIoBackendForTest(AsyncIoBackend::kAuto);
-    SpillFile::ArmReadFaultForTest(0, 0);
-    SpillFile::ArmWriteFaultForTest(0, 0);
+    FailPoints::Clear();
   }
 };
 
@@ -396,16 +400,22 @@ TEST(SpillFaultTest, InjectedReadErrorSurfacesAsSpillIoError) {
     const std::vector<uint32_t> sizes = {1};
     const std::vector<graph::NodeId> nodes = {9};
     file.AppendChunk(0, 1, sizes, nodes);
-    SpillFile::ArmReadFaultForTest(1, EIO);
+    // Raw SpillFile/cursor reads have no re-sampling fallback: a
+    // permanent EIO (injected on every read so the retry path cannot
+    // sidestep it) must surface as SpillIoError.
+    ASSERT_TRUE(FailPoints::Arm("spill.read.eio@every:1").ok());
     SpillChunkCursor cursor(file, {0}, &pool);
     EXPECT_THROW(cursor.Next(), SpillIoError);
-    SpillFile::ArmReadFaultForTest(0, 0);
+    FailPoints::Clear();
   }
 }
 
-// The driver contract: a cold-tier read failure mid-run surfaces as
-// Status::ResourceExhausted from RunTiGreedy (the same contract the write
-// path already honors), never as a crash or a silently wrong result.
+// The driver contract: permanent cold-tier faults mid-run DEGRADE instead
+// of aborting — lost chunks are re-sampled from their recorded substream
+// seeds (read side), a failed spill write disables eviction and the run
+// finishes resident (write side). Only an unrecoverable double fault
+// still surfaces as Status::ResourceExhausted, never as a crash or a
+// silently wrong result.
 struct SpillFaultEndToEndFixture {
   Graph g = MakeBaGraph(150, 9);
   std::unique_ptr<RmInstance> instance;
@@ -440,26 +450,45 @@ struct SpillFaultEndToEndFixture {
   }
 };
 
-TEST(SpillFaultTest, ReadErrorSurfacesAsResourceExhaustedFromRun) {
+TEST(SpillFaultTest, ReadErrorIsRecoveredByResampling) {
   IoStateGuard guard;
   SpillFaultEndToEndFixture f;
-  // The 40th cold read fails with EIO — deep enough that spilling and
-  // several clean scans happened first.
-  SpillFile::ArmReadFaultForTest(40, EIO);
+  // EVERY cold read fails with EIO — the per-chunk re-read fallback can
+  // never sidestep the fault, so every consulted chunk is rebuilt by
+  // re-sampling. The run must complete and say so in the counters
+  // (bit-identity with the fault-free run is spill_recovery_test.cc's
+  // job).
+  ASSERT_TRUE(FailPoints::Arm("spill.read.eio@every:1").ok());
   auto run = RunTiGreedy(*f.instance, f.BudgetedOptions());
-  SpillFile::ArmReadFaultForTest(0, 0);
+  FailPoints::Clear();
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  EXPECT_GT(run.value().total_degradation_events, 0u);
+  EXPECT_GT(run.value().total_recovered_sets, 0u);
+}
+
+TEST(SpillFaultTest, UnrecoverableReadErrorSurfacesAsResourceExhausted) {
+  IoStateGuard guard;
+  SpillFaultEndToEndFixture f;
+  // Double fault: the cold read fails AND the re-sample recovery path
+  // fails. The original fail-stop contract still holds.
+  ASSERT_TRUE(
+      FailPoints::Arm("spill.read.eio@every:1,spill.resample.throw@1").ok());
+  auto run = RunTiGreedy(*f.instance, f.BudgetedOptions());
+  FailPoints::Clear();
   ASSERT_FALSE(run.ok());
   EXPECT_EQ(run.status().code(), StatusCode::kResourceExhausted);
 }
 
-TEST(SpillFaultTest, EnospcOnSpillWriteSurfacesAsResourceExhausted) {
+TEST(SpillFaultTest, EnospcOnSpillWriteDegradesToResidentCompletion) {
   IoStateGuard guard;
   SpillFaultEndToEndFixture f;
-  SpillFile::ArmWriteFaultForTest(3, ENOSPC);
+  // The 3rd spill write fails with ENOSPC: that store's tier disables
+  // eviction and the run finishes resident instead of aborting.
+  ASSERT_TRUE(FailPoints::Arm("spill.write.enospc@3").ok());
   auto run = RunTiGreedy(*f.instance, f.BudgetedOptions());
-  SpillFile::ArmWriteFaultForTest(0, 0);
-  ASSERT_FALSE(run.ok());
-  EXPECT_EQ(run.status().code(), StatusCode::kResourceExhausted);
+  FailPoints::Clear();
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  EXPECT_GT(run.value().total_degradation_events, 0u);
 }
 
 // ------------------------------------------------ end-to-end bit identity

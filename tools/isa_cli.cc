@@ -15,6 +15,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/failpoint.h"
 #include "common/flags.h"
 #include "common/strings.h"
 #include "common/table_writer.h"
@@ -58,6 +59,11 @@ constexpr const char* kUsage = R"(isa_cli — incentivized social advertising ca
                         the computed allocation)             [0]
   --spill-dir PATH      directory for spill chunk files (default:
                         system temp dir; files are removed on exit)
+  --failpoints SPEC     deterministic fault injection for chaos runs,
+                        e.g. "spill.read.eio@every:1" (see
+                        common/failpoint.h for the grammar; cold-read
+                        faults are healed by re-sampling — watch the
+                        degraded column and recovery counters)
   --seed S              master RNG seed (results are identical
                         at any --threads and any --rr-memory-budget
                         for a fixed seed)                   [42]
@@ -78,8 +84,8 @@ int main(int argc, char** argv) {
       {"graph", "synthetic", "nodes", "ads", "budget", "cpe", "incentives",
        "alpha", "algorithm", "model", "epsilon", "window", "theta-cap",
        "threads", "share-samples", "async-growth", "growth-delay",
-       "rr-memory-budget", "spill-dir", "seed", "seeds-csv", "validate",
-       "help"});
+       "rr-memory-budget", "spill-dir", "failpoints", "seed", "seeds-csv",
+       "validate", "help"});
   if (!flags_result.ok()) {
     std::fputs(kUsage, stderr);
     return Fail(flags_result.status());
@@ -140,6 +146,20 @@ int main(int argc, char** argv) {
     if (!std::filesystem::is_directory(spill_dir, ec)) {
       return Fail(isa::Status::InvalidArgument(
           "--spill-dir is not an existing directory: " + spill_dir));
+    }
+  }
+
+  // Deterministic fault injection: validate the whole spec up front (a
+  // typo'd entry fails here, in milliseconds, with the offending entry
+  // named), then arm it for the run.
+  const std::string failpoints =
+      flags.GetString("failpoints", "").value_or("");
+  if (!failpoints.empty()) {
+    if (auto parsed = isa::FailPoints::Parse(failpoints); !parsed.ok()) {
+      return Fail(parsed.status());
+    }
+    if (auto armed = isa::FailPoints::Arm(failpoints); !armed.ok()) {
+      return Fail(armed);
     }
   }
 
@@ -264,7 +284,7 @@ int main(int argc, char** argv) {
   if (spilling) {
     columns.insert(columns.end(), {"spilled", "chunks", "scans",
                                    "chunks read", "chunks skipped",
-                                   "resident peak"});
+                                   "resident peak", "degraded"});
   }
   isa::TableWriter table(columns);
   for (uint32_t j = 0; j < h; ++j) {
@@ -287,6 +307,11 @@ int main(int argc, char** argv) {
       table.AddCell(st.chunks_read);
       table.AddCell(st.chunks_skipped);
       table.AddCell(isa::HumanBytes(st.rr_resident_peak_bytes));
+      // degraded=yes: this ad survived a permanent cold-tier fault (chunk
+      // re-sampled, eviction disabled, or θ-growth capped).
+      table.AddCell(std::string(
+          st.degradation_events + st.growth_admission_caps > 0 ? "yes"
+                                                               : "no"));
     }
     if (auto s = table.EndRow(); !s.ok()) return Fail(s);
   }
@@ -304,13 +329,19 @@ int main(int argc, char** argv) {
   if (spilling) {
     std::printf("spill tier: budget %s per store, %s spilled in %llu "
                 "chunks; %llu cold scans read %llu chunks, skipped %llu "
-                "(envelope/Bloom)\n",
+                "(envelope/Bloom); recovery: %llu retries (%llu succeeded), "
+                "%llu degradations, %llu re-sampled sets, %llu growth caps\n",
                 isa::HumanBytes(options.rr_memory_budget_bytes).c_str(),
                 isa::HumanBytes(result.total_spilled_bytes).c_str(),
                 (unsigned long long)result.total_spill_chunks,
                 (unsigned long long)result.total_scan_reloads,
                 (unsigned long long)result.total_chunks_read,
-                (unsigned long long)result.total_chunks_skipped);
+                (unsigned long long)result.total_chunks_skipped,
+                (unsigned long long)result.total_spill_retries,
+                (unsigned long long)result.total_spill_retry_successes,
+                (unsigned long long)result.total_degradation_events,
+                (unsigned long long)result.total_recovered_sets,
+                (unsigned long long)result.total_growth_admission_caps);
   }
 
   const std::string csv =
