@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -49,9 +50,9 @@ void SetAsyncIoBackendForTest(AsyncIoBackend backend) {
 
 bool IoUringCompiledIn() { return true; }
 
-// Raw-syscall ring: 2 SQ entries (one read outstanding, power-of-two ring),
-// mmapped SQ/CQ rings + SQE array. The container has no liburing, so the
-// setup/submit/complete protocol is spelled out here; see
+// Raw-syscall ring sized to the reader's depth (rounded up to a power of
+// two), mmapped SQ/CQ rings + SQE array. The container has no liburing, so
+// the setup/submit/complete protocol is spelled out here; see
 // Documentation/io_uring in the kernel tree for the memory-ordering rules
 // (release on tail publishes, acquire on head/tail consumes).
 struct AsyncFileReader::Uring {
@@ -79,10 +80,10 @@ struct AsyncFileReader::Uring {
     if (ring_fd >= 0) ::close(ring_fd);
   }
 
-  static std::unique_ptr<Uring> Create() {
+  static std::unique_ptr<Uring> Create(uint32_t entries) {
     auto u = std::make_unique<Uring>();
     u->ring_fd = static_cast<int>(
-        ::syscall(__NR_io_uring_setup, 2u, &u->params));
+        ::syscall(__NR_io_uring_setup, std::bit_ceil(entries), &u->params));
     if (u->ring_fd < 0) return nullptr;
 
     const io_uring_params& p = u->params;
@@ -150,71 +151,105 @@ bool IoUringAvailable() {
   return available;
 }
 
-bool AsyncFileReader::UringStart() {
+void AsyncFileReader::UringSubmit(uint64_t first_seq, uint32_t count) {
   Uring& u = *ring_;
-  const unsigned tail = *u.sq_tail;  // single producer: plain read is safe
-  const unsigned idx = tail & *u.sq_mask;
-  io_uring_sqe& sqe = u.sqes[idx];
-  std::memset(&sqe, 0, sizeof(sqe));
-  sqe.opcode = IORING_OP_READ;
-  sqe.fd = fd_;
-  sqe.addr = reinterpret_cast<uint64_t>(buf_);
-  sqe.len = static_cast<uint32_t>(len_);
-  sqe.off = offset_;
-  u.sq_array[idx] = idx;
-  __atomic_store_n(u.sq_tail, tail + 1, __ATOMIC_RELEASE);
-  while (true) {
-    const long ret = ::syscall(__NR_io_uring_enter, ring_->ring_fd, 1u, 0u,
-                               0u, nullptr, 0u);
-    if (ret >= 0) return true;
-    if (errno == EINTR) continue;
-    return false;  // submission failed; Wait falls back to a sync pread
+  if (uring_degraded_) {
+    // The SQ ring holds orphaned entries from an earlier failed submit;
+    // another enter could hand them to the kernel against buffers that no
+    // longer exist. Serve everything synchronously from here on.
+    for (uint32_t i = 0; i < count; ++i) {
+      SlotOf(first_seq + i).state = SlotState::kSyncAtWait;
+    }
+    return;
+  }
+  unsigned tail = *u.sq_tail;  // single producer: plain read is safe
+  for (uint32_t i = 0; i < count; ++i) {
+    Slot& s = SlotOf(first_seq + i);
+    const unsigned idx = tail & *u.sq_mask;
+    io_uring_sqe& sqe = u.sqes[idx];
+    std::memset(&sqe, 0, sizeof(sqe));
+    sqe.opcode = IORING_OP_READ;
+    sqe.fd = s.fd;
+    sqe.addr = reinterpret_cast<uint64_t>(s.buf);
+    sqe.len = static_cast<uint32_t>(s.len);
+    sqe.off = s.offset;
+    sqe.user_data = s.seq;
+    u.sq_array[idx] = idx;
+    ++tail;
+    s.state = SlotState::kQueued;
+  }
+  __atomic_store_n(u.sq_tail, tail, __ATOMIC_RELEASE);
+  // One io_uring_enter for the whole batch. A partial acceptance loops
+  // until the kernel took every SQE; a hard error degrades the unaccepted
+  // suffix (and every future submission) to synchronous completion.
+  uint32_t submitted = 0;
+  while (submitted < count) {
+    const long ret = ::syscall(__NR_io_uring_enter, u.ring_fd,
+                               count - submitted, 0u, 0u, nullptr, 0u);
+    if (ret < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ret == 0) break;
+    submitted += static_cast<uint32_t>(ret);
+  }
+  if (submitted < count) {
+    uring_degraded_ = true;
+    ISA_LOG("AsyncFileReader: io_uring batch submission failed after %u/%u "
+            "entries (%s); degrading to synchronous reads",
+            submitted, count, std::strerror(errno));
+    for (uint32_t i = submitted; i < count; ++i) {
+      SlotOf(first_seq + i).state = SlotState::kSyncAtWait;
+    }
   }
 }
 
-int AsyncFileReader::UringWait() {
+int AsyncFileReader::UringAwait(Slot& s) {
   Uring& u = *ring_;
-  while (true) {
+  while (s.state == SlotState::kQueued) {
+    // Drain every available CQE — completions may belong to younger slots
+    // (out-of-order completion); each is recorded in its own slot and
+    // picked up by that slot's Wait.
     const unsigned head = *u.cq_head;  // single consumer
-    if (__atomic_load_n(u.cq_tail, __ATOMIC_ACQUIRE) == head) {
-      const long ret = ::syscall(__NR_io_uring_enter, u.ring_fd, 0u, 1u,
-                                 IORING_ENTER_GETEVENTS, nullptr, 0u);
-      if (ret < 0 && errno != EINTR && errno != EAGAIN) return errno;
+    if (__atomic_load_n(u.cq_tail, __ATOMIC_ACQUIRE) != head) {
+      const io_uring_cqe& cqe = u.cqes[head & *u.cq_mask];
+      Slot& target = SlotOf(cqe.user_data);
+      const int32_t res = cqe.res;
+      __atomic_store_n(u.cq_head, head + 1, __ATOMIC_RELEASE);
+      if (target.seq == cqe.user_data &&
+          target.state == SlotState::kQueued) {
+        ApplyCompletion(target, res);
+      }
       continue;
     }
-    const io_uring_cqe& cqe = u.cqes[head & *u.cq_mask];
-    const int32_t res = cqe.res;
-    __atomic_store_n(u.cq_head, head + 1, __ATOMIC_RELEASE);
-    if (res < 0) {
-      if (res == -EINTR || res == -EAGAIN) {
-        return SyncRead();  // retry the whole request synchronously
-      }
-      return -res;
-    }
-    if (res == 0) return -1;  // EOF
-    if (static_cast<size_t>(res) >= len_) return 0;
-    // Short read: finish the remainder synchronously (same EOF/errno
-    // contract either way).
-    buf_ += res;
-    offset_ += static_cast<uint64_t>(res);
-    len_ -= static_cast<size_t>(res);
-    return SyncRead();
+    const long ret = ::syscall(__NR_io_uring_enter, u.ring_fd, 0u, 1u,
+                               IORING_ENTER_GETEVENTS, nullptr, 0u);
+    if (ret < 0 && errno != EINTR && errno != EAGAIN) return errno;
   }
+  if (s.state == SlotState::kDone) return s.result;
+  return SyncRead(s);  // kFinishTail or kSyncAtWait (EINTR/EAGAIN redo)
 }
 
 #else  // !ISA_HAVE_IO_URING
 
-struct AsyncFileReader::Uring {};
+struct AsyncFileReader::Uring {
+  static std::unique_ptr<Uring> Create(uint32_t) { return nullptr; }
+};
 
 bool IoUringCompiledIn() { return false; }
 bool IoUringAvailable() { return false; }
-bool AsyncFileReader::UringStart() { return false; }
-int AsyncFileReader::UringWait() { return SyncRead(); }
+void AsyncFileReader::UringSubmit(uint64_t first_seq, uint32_t count) {
+  for (uint32_t i = 0; i < count; ++i) {
+    SlotOf(first_seq + i).state = SlotState::kSyncAtWait;
+  }
+}
+int AsyncFileReader::UringAwait(Slot& s) { return SyncRead(s); }
 
 #endif  // ISA_HAVE_IO_URING
 
-AsyncFileReader::AsyncFileReader(ThreadPool* pool, AsyncIoBackend backend)
-    : pool_(pool) {
+AsyncFileReader::AsyncFileReader(ThreadPool* pool, AsyncIoBackend backend,
+                                 uint32_t depth)
+    : pool_(pool), depth_(std::clamp(depth, 1u, kMaxDepth)) {
   const AsyncIoBackend forced =
       g_backend_override.load(std::memory_order_relaxed);
   if (forced != AsyncIoBackend::kAuto) backend = forced;
@@ -224,9 +259,7 @@ AsyncFileReader::AsyncFileReader(ThreadPool* pool, AsyncIoBackend backend)
                                  : AsyncIoBackend::kSync;
   }
   if (backend == AsyncIoBackend::kIoUring && IoUringAvailable()) {
-#ifdef ISA_HAVE_IO_URING
-    ring_ = Uring::Create();
-#endif
+    ring_ = Uring::Create(depth_);
   }
   if (ring_ != nullptr) {
     backend_ = AsyncIoBackend::kIoUring;
@@ -235,12 +268,14 @@ AsyncFileReader::AsyncFileReader(ThreadPool* pool, AsyncIoBackend backend)
   } else {
     backend_ = AsyncIoBackend::kSync;
   }
+  slots_.resize(depth_);
+  if (backend_ == AsyncIoBackend::kPoolPread) tasks_.resize(depth_);
 }
 
 AsyncFileReader::~AsyncFileReader() {
-  // The kernel (or a pool worker) may still be writing into buf_; drain
-  // before the buffers die. Errors are irrelevant on this path.
-  if (in_flight_) static_cast<void>(Wait());
+  // The kernel (or pool workers) may still be writing into submitted
+  // buffers; drain before they die. Errors are irrelevant on this path.
+  while (in_flight()) static_cast<void>(Wait());
 }
 
 const char* AsyncFileReader::backend_name() const {
@@ -254,52 +289,111 @@ const char* AsyncFileReader::backend_name() const {
   }
 }
 
-int AsyncFileReader::SyncRead() { return PreadFull(fd_, offset_, buf_, len_); }
+int AsyncFileReader::SyncRead(Slot& s) {
+  return PreadFull(s.fd, s.offset, s.buf, s.len);
+}
+
+void AsyncFileReader::ApplyCompletion(Slot& s, int32_t res) {
+  if (res < 0) {
+    if (res == -EINTR || res == -EAGAIN) {
+      // Nothing transferred; redo the whole request synchronously at Wait.
+      s.state = SlotState::kSyncAtWait;
+    } else {
+      s.state = SlotState::kDone;
+      s.result = -res;
+    }
+    return;
+  }
+  if (res == 0 && s.len > 0) {
+    s.state = SlotState::kDone;
+    s.result = -1;  // EOF before the requested length
+    return;
+  }
+  if (static_cast<size_t>(res) >= s.len) {
+    s.state = SlotState::kDone;
+    s.result = 0;
+    return;
+  }
+  // Short read: Wait finishes the remainder synchronously (same EOF/errno
+  // contract either way).
+  s.buf += res;
+  s.offset += static_cast<uint64_t>(res);
+  s.len -= static_cast<size_t>(res);
+  s.state = SlotState::kFinishTail;
+}
+
+void AsyncFileReader::SubmitBatch(std::span<const AsyncReadRequest> reqs) {
+  if (reqs.empty()) return;
+  ISA_CHECK(reqs.size() <= depth_ - pending());
+  const uint64_t first_seq = tail_seq_;
+  for (const AsyncReadRequest& r : reqs) {
+    Slot& s = SlotOf(tail_seq_);
+    s.fd = r.fd;
+    s.offset = r.offset;
+    s.buf = static_cast<char*>(r.buf);
+    s.len = r.len;
+    s.result = 0;
+    s.seq = tail_seq_;
+    s.state = SlotState::kSyncAtWait;
+    ++tail_seq_;
+  }
+  const uint32_t count = static_cast<uint32_t>(reqs.size());
+  // "async.submit": the backend never sees this batch and every request is
+  // served by a synchronous pread at its Wait — the exact path a real
+  // failed submission takes.
+  const bool submit_faulted = FailPointHit("async.submit") != 0;
+  if (!submit_faulted) {
+    switch (backend_) {
+      case AsyncIoBackend::kIoUring:
+        UringSubmit(first_seq, count);
+        break;
+      case AsyncIoBackend::kPoolPread:
+        for (uint32_t i = 0; i < count; ++i) {
+          const uint64_t seq = first_seq + i;
+          Slot& s = SlotOf(seq);
+          s.state = SlotState::kQueued;
+          tasks_[seq % depth_] = pool_->Launch(1, [&s](uint64_t) {
+            s.result = PreadFull(s.fd, s.offset, s.buf, s.len);
+          });
+        }
+        break;
+      default:
+        break;  // sync: every slot stays kSyncAtWait
+    }
+  }
+  uint64_t async_in_flight = 0;
+  for (uint64_t seq = head_seq_; seq < tail_seq_; ++seq) {
+    if (SlotOf(seq).state != SlotState::kSyncAtWait) ++async_in_flight;
+  }
+  peak_in_flight_ = std::max(peak_in_flight_, async_in_flight);
+}
 
 void AsyncFileReader::Start(int fd, uint64_t offset, void* buf, size_t len) {
-  ISA_CHECK(!in_flight_);
-  fd_ = fd;
-  offset_ = offset;
-  buf_ = static_cast<char*>(buf);
-  len_ = len;
-  in_flight_ = true;
-  uring_submitted_ = false;
-  submit_faulted_ = FailPointHit("async.submit") != 0;
-  if (submit_faulted_) return;  // Wait falls back to a synchronous pread
-  switch (backend_) {
-    case AsyncIoBackend::kIoUring:
-      uring_submitted_ = UringStart();
-      break;
-    case AsyncIoBackend::kPoolPread:
-      task_ = pool_->Launch(1, [this](uint64_t) {
-        pool_result_ = PreadFull(fd_, offset_, buf_, len_);
-      });
-      break;
-    default:
-      break;  // sync: Wait performs the read
-  }
+  const AsyncReadRequest req{fd, offset, buf, len};
+  SubmitBatch({&req, 1});
 }
 
 int AsyncFileReader::Wait() {
-  ISA_CHECK(in_flight_);
-  in_flight_ = false;
+  ISA_CHECK(in_flight());
+  Slot& s = SlotOf(head_seq_);
   int result;
-  if (submit_faulted_) {
-    result = SyncRead();
-  } else {
-    switch (backend_) {
-      case AsyncIoBackend::kIoUring:
-        result = uring_submitted_ ? UringWait() : SyncRead();
-        break;
-      case AsyncIoBackend::kPoolPread:
-        task_.Wait();  // publishes pool_result_ and the buffer bytes
-        result = pool_result_;
-        break;
-      default:
-        result = SyncRead();
-        break;
-    }
+  switch (s.state) {
+    case SlotState::kQueued:
+      if (backend_ == AsyncIoBackend::kPoolPread) {
+        tasks_[head_seq_ % depth_].Wait();  // publishes result + the bytes
+        result = s.result;
+      } else {
+        result = UringAwait(s);
+      }
+      break;
+    case SlotState::kDone:
+      result = s.result;
+      break;
+    default:  // kSyncAtWait, kFinishTail
+      result = SyncRead(s);
+      break;
   }
+  ++head_seq_;
   if (const int e = FailPointHit("async.complete")) result = e;
   return result;
 }

@@ -1,24 +1,33 @@
-// AsyncFileReader — one-outstanding-read positional file reader, the I/O
-// engine behind the spill tier's chunk prefetch pipeline (see
-// rrset/spill_file.h).
+// AsyncFileReader — deep-queue positional file reader, the I/O engine
+// behind the spill tier's chunk prefetch pipeline (see rrset/spill_file.h).
 //
-// The pipeline needs exactly one read in flight: while chunk k is being
-// applied, chunk k+1's bytes stream into the other half of a double
-// buffer. Three backends provide that overlap, best-first:
+// The pipeline keeps up to `depth` reads in flight (default 16): while
+// chunk k is being applied, the next up-to-depth chunks' bytes stream into
+// a ring of buffers. SubmitBatch enqueues a whole filtered chunk list in
+// one submission call; Wait drains completions strictly in submission
+// order (FIFO), so consumers keep their deterministic ascending apply
+// sequence even when the backend completes reads out of order. Three
+// backends provide the overlap, best-first:
 //
-//   io_uring    — a 2-entry ring per reader, raw syscalls (no liburing
+//   io_uring    — a depth-entry ring per reader, raw syscalls (no liburing
 //                 dependency); compiled in when <linux/io_uring.h> exists
 //                 (ISA_HAVE_IO_URING) and used when a runtime probe shows
 //                 the kernel supports it and ISA_DISABLE_IO_URING is unset.
-//   pool pread  — the read runs as a ThreadPool::Launch task; the pool's
-//                 Wait barrier publishes the buffer to the consumer.
-//   sync pread  — no overlap; Start records the request, Wait performs it
-//                 inline. The fallback of last resort and the reference
-//                 behavior: all backends read the same bytes, so results
-//                 are bit-identical whichever one serves a run.
+//                 A batch is one io_uring_enter; completions are harvested
+//                 out of order (CQE user_data carries the submission
+//                 sequence number) and re-ordered by the FIFO Wait.
+//   pool pread  — each read runs as its own ThreadPool::Launch task, so up
+//                 to depth preads progress concurrently; the per-task Wait
+//                 barrier publishes each buffer to the consumer in order.
+//   sync pread  — no overlap; submission records the request, Wait performs
+//                 it inline, strictly serially. The fallback of last resort
+//                 and the reference behavior: all backends read the same
+//                 bytes, so results are bit-identical whichever one serves
+//                 a run.
 //
 // Error model: Wait returns 0 on success, a positive errno on failure, or
-// -1 for EOF before the requested length. Callers (the spill layer) turn
+// -1 for EOF before the requested length. A short read that is not EOF is
+// completed synchronously inside Wait. Callers (the spill layer) turn
 // nonzero into SpillIoError; this class never throws from the I/O path.
 
 #ifndef ISA_COMMON_ASYNC_IO_H_
@@ -27,6 +36,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "common/thread_pool.h"
 
@@ -57,30 +68,61 @@ bool IoUringCompiledIn();
 /// concurrent reader construction.
 void SetAsyncIoBackendForTest(AsyncIoBackend backend);
 
-/// One-outstanding-read reader (see file comment). Not thread-safe: one
-/// owner starts and waits; the pool backend's internal task is
-/// synchronized by TaskGroup::Wait's barrier.
+/// One positional read: exactly `len` bytes at `offset` from `fd` into
+/// `buf`. `buf` and `fd` must stay valid until the matching Wait returns.
+struct AsyncReadRequest {
+  int fd = -1;
+  uint64_t offset = 0;
+  void* buf = nullptr;
+  size_t len = 0;
+};
+
+/// Deep-queue reader (see file comment). Not thread-safe: one owner
+/// submits and waits; the pool backend's internal tasks are synchronized
+/// by TaskGroup::Wait's barrier, the io_uring backend by the ring's
+/// release/acquire protocol.
 class AsyncFileReader {
  public:
-  /// `pool` may be null (kPoolPread then degrades to kSync).
+  static constexpr uint32_t kDefaultDepth = 16;
+  static constexpr uint32_t kMaxDepth = 128;
+
+  /// `pool` may be null (kPoolPread then degrades to kSync). `depth` is
+  /// the maximum number of outstanding reads (clamped to [1, kMaxDepth]);
+  /// the io_uring backend sizes its ring to hold it.
   explicit AsyncFileReader(ThreadPool* pool,
-                           AsyncIoBackend backend = AsyncIoBackend::kAuto);
+                           AsyncIoBackend backend = AsyncIoBackend::kAuto,
+                           uint32_t depth = kDefaultDepth);
   ~AsyncFileReader();
   AsyncFileReader(const AsyncFileReader&) = delete;
   AsyncFileReader& operator=(const AsyncFileReader&) = delete;
 
-  /// Starts a read of exactly `len` bytes at `offset` into `buf`. At most
-  /// one read may be outstanding; `buf` and `fd` must stay valid until the
-  /// matching Wait returns. Never fails — submission errors are surfaced
-  /// by Wait (which completes the read synchronously where possible).
+  /// Enqueues every request in `reqs` — at most depth() - pending() at a
+  /// time — in one backend submission (a single io_uring_enter on the
+  /// io_uring backend). Never fails: a failed or faulted submission
+  /// ("async.submit" failpoint, ring exhaustion) downgrades the affected
+  /// requests to synchronous completion inside their Wait — the exact
+  /// path a real failed submission takes, and the first rung of the
+  /// cold-tier recovery ladder.
+  void SubmitBatch(std::span<const AsyncReadRequest> reqs);
+
+  /// Single-request convenience wrapper over SubmitBatch.
   void Start(int fd, uint64_t offset, void* buf, size_t len);
 
-  /// Blocks until the outstanding read finished. Returns 0 on success, a
-  /// positive errno, or -1 for EOF before `len` bytes. A short read that
-  /// is not EOF is completed by further reads internally.
+  /// Blocks until the OLDEST outstanding read finished (FIFO — results
+  /// come back in submission order regardless of backend completion
+  /// order). Returns 0 on success, a positive errno, or -1 for EOF before
+  /// the requested length.
   int Wait();
 
-  bool in_flight() const { return in_flight_; }
+  /// Outstanding reads (submitted, not yet Wait()ed).
+  size_t pending() const { return static_cast<size_t>(tail_seq_ - head_seq_); }
+  bool in_flight() const { return pending() > 0; }
+  uint32_t depth() const { return depth_; }
+
+  /// High-water mark of genuinely asynchronous reads in flight (slots the
+  /// backend accepted — synchronous-fallback slots excluded). 0 on the
+  /// sync backend.
+  uint64_t reads_in_flight_peak() const { return peak_in_flight_; }
 
   /// Resolved backend, for diagnostics/tests: "io_uring", "pool-pread" or
   /// "sync".
@@ -89,28 +131,48 @@ class AsyncFileReader {
  private:
   struct Uring;  // raw-syscall ring state; null unless io_uring is active
 
-  // pread-until-done of the recorded request; returns the Wait error code.
-  int SyncRead();
-  bool UringStart();  // false = submission failed, Wait falls back to sync
-  int UringWait();
+  enum class SlotState : uint8_t {
+    kSyncAtWait,  // sync backend, failed/faulted submission: Wait preads
+    kQueued,      // accepted by the async backend; completion not seen yet
+    kDone,        // completion harvested; result_ is final
+    kFinishTail,  // partial bytes landed; Wait preads the remainder
+  };
+  struct Slot {
+    int fd = -1;
+    uint64_t offset = 0;
+    char* buf = nullptr;
+    size_t len = 0;
+    SlotState state = SlotState::kSyncAtWait;
+    int result = 0;
+    uint64_t seq = 0;
+  };
+
+  Slot& SlotOf(uint64_t seq) { return slots_[seq % depth_]; }
+  // pread-until-done of the slot's (remaining) request; Wait's contract.
+  static int SyncRead(Slot& s);
+  // Applies one completion code (io_uring CQE res convention: negative
+  // errno, 0 = EOF, positive = bytes) to its slot.
+  static void ApplyCompletion(Slot& s, int32_t res);
+  // Fills and submits `count` SQEs for slots [first_seq, first_seq+count);
+  // marks each slot kQueued or kSyncAtWait as the kernel accepts it.
+  void UringSubmit(uint64_t first_seq, uint32_t count);
+  // Harvests CQEs until `s` leaves kQueued; returns its Wait result.
+  int UringAwait(Slot& s);
 
   ThreadPool* pool_;
   AsyncIoBackend backend_ = AsyncIoBackend::kSync;
+  uint32_t depth_ = kDefaultDepth;
   std::unique_ptr<Uring> ring_;
+  // After a hard submission failure the ring may hold orphaned SQEs that
+  // must never reach the kernel; all later submissions downgrade to
+  // synchronous completion (queued reads still drain normally).
+  bool uring_degraded_ = false;
 
-  bool in_flight_ = false;
-  bool uring_submitted_ = false;
-  // "async.submit" failpoint fired on the last Start: the backend never
-  // saw the request and Wait serves it with a synchronous pread — the
-  // exact path a real failed submission takes.
-  bool submit_faulted_ = false;
-  int fd_ = -1;
-  uint64_t offset_ = 0;
-  char* buf_ = nullptr;
-  size_t len_ = 0;
-
-  ThreadPool::TaskGroup task_;  // pool backend
-  int pool_result_ = 0;         // written by the task, read after Wait
+  std::vector<Slot> slots_;                    // ring, indexed by seq % depth
+  std::vector<ThreadPool::TaskGroup> tasks_;   // pool backend, per slot
+  uint64_t head_seq_ = 0;  // next sequence Wait returns
+  uint64_t tail_seq_ = 0;  // next sequence SubmitBatch assigns
+  uint64_t peak_in_flight_ = 0;
 };
 
 }  // namespace isa

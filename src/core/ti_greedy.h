@@ -150,6 +150,22 @@ struct TiOptions {
   /// larger chunks amortize the per-chunk read. Never affects computed
   /// results, only I/O granularity and the chunk counters.
   uint64_t spill_chunk_bytes = 4ull << 20;
+  /// Cold-scan queue depth: up to this many spill-chunk reads in flight
+  /// per scan (SpillOptions::io_ring_depth; clamped to [1, 128]). 1
+  /// degrades to the old one-outstanding pipeline. Never affects computed
+  /// results — completions are applied in submission order everywhere.
+  uint32_t io_ring_depth = 16;
+  /// O_DIRECT for cold-chunk reads (probed per spill file, transparent
+  /// buffered fallback; ISA_DISABLE_O_DIRECT=1 forces the fallback).
+  /// Never affects computed results, only page-cache behavior.
+  bool direct_io = true;
+  /// Spill size (bytes on disk) a store must reach before its cold scans
+  /// switch from buffered to O_DIRECT reads — small spills are served
+  /// straight from the page cache their own writes populated, which beats
+  /// flushing them out just to re-read from storage (see
+  /// SpillOptions::direct_io_min_bytes). Deterministic; never affects
+  /// computed results. 0 = direct from the first spilled byte.
+  uint64_t direct_io_min_bytes = 64ull << 20;
   /// Safety cap on total selected seeds (0 = unlimited).
   uint64_t max_seeds = 0;
   /// Nodes that may not be selected as seeds for any ad (e.g. users who
@@ -192,6 +208,13 @@ struct TiAdStats {
   uint64_t chunks_read = 0;
   uint64_t chunks_skipped = 0;
   uint64_t rr_resident_peak_bytes = 0;
+  /// Deep-queue I/O observability (store counters, charged to the first
+  /// ad using the store): the high-water mark of cold-chunk reads in
+  /// flight, whether the store's spill file reads through O_DIRECT, and
+  /// direct reads healed by buffered re-reads.
+  uint64_t reads_in_flight_peak = 0;
+  bool direct_io_active = false;
+  uint64_t direct_fallbacks = 0;
   /// Failure handling (store counters charged to the first ad using the
   /// store, like rr_memory_bytes; growth_admission_caps is per-ad).
   /// spill_retries counts transient cold-tier I/O attempts that were
@@ -239,6 +262,12 @@ struct TiResult {
   uint64_t total_scan_reloads = 0;
   uint64_t total_chunks_read = 0;
   uint64_t total_chunks_skipped = 0;
+  /// Deep-queue I/O: MAX over stores of reads_in_flight_peak (a depth,
+  /// not a sum), stores reading through O_DIRECT, and direct-read
+  /// fallbacks summed.
+  uint64_t total_reads_in_flight_peak = 0;
+  uint32_t stores_direct_io = 0;
+  uint64_t total_direct_fallbacks = 0;
   /// Failure-handling totals (see TiAdStats; all 0 on a fault-free run).
   /// degradation/recovery never change the computed fields above — a
   /// fixed seed yields the same allocation/revenue/θ with or without

@@ -243,7 +243,7 @@ uint32_t RrCollection::RemoveCoveredBy(graph::NodeId v,
     cold = std::move(pending_cold_);
   } else if (store_->first_resident_set() > 0) {
     cold = store_->StartColdScan(
-        v, std::min(theta_, store_->first_resident_set()), pool);
+        v, std::min(theta_, store_->first_resident_set()), pool, alive_);
   }
   pending_cold_.reset();
   pending_cold_node_ = kInvalidNode;
@@ -272,7 +272,7 @@ uint32_t RrCollection::RemoveCoveredBy(graph::NodeId v,
       return true;
     });
     store_->FinishColdScan(
-        *cold, [&](uint64_t r) { return alive_[r] != 0; },
+        *cold, alive_,
         [&](uint64_t r, std::span<const graph::NodeId> members) {
           cover_set(r, members);
         });
@@ -290,8 +290,12 @@ void RrCollection::PrefetchRemoveCoveredBy(graph::NodeId v,
   pending_cold_.reset();
   pending_cold_node_ = kInvalidNode;
   if (store_->first_resident_set() == 0) return;
+  // The alive filter is safe to evaluate at prefetch time: between here
+  // and the consuming RemoveCoveredBy no set can die (only RemoveCoveredBy
+  // kills sets, and a prefetch for a different node is discarded), so the
+  // chunk selection is identical to one made at commit time.
   pending_cold_ = store_->StartColdScan(
-      v, std::min(theta_, store_->first_resident_set()), pool);
+      v, std::min(theta_, store_->first_resident_set()), pool, alive_);
   if (pending_cold_ != nullptr) pending_cold_node_ = v;
 }
 

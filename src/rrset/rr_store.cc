@@ -235,30 +235,113 @@ void RrStore::SpillPrefix(uint64_t new_first, const SpillOptions& options,
   if (spill_ == nullptr) {
     spill_ = std::make_unique<SpillFile>(
         options.path.empty() ? MakeSpillPath() : options.path,
-        options.bloom_bits_per_key);
+        options.bloom_bits_per_key, options.direct_io);
   }
-  // Carve [first_resident_, new_first) into chunks of ~chunk_target_bytes
-  // of member payload. Sets are contiguous in rr_nodes_, so each chunk's
-  // nodes column is one span; only the sizes column is materialized.
+  scan_ring_depth_ = options.io_ring_depth;
+  scan_direct_min_bytes_ = options.direct_io_min_bytes;
   const uint64_t target = std::max<uint64_t>(1, options.chunk_target_bytes);
-  std::vector<uint32_t> sizes;
-  uint64_t lo = first_resident_;
-  while (lo < new_first) {
-    uint64_t hi = lo;
-    uint64_t bytes = 0;
-    sizes.clear();
-    while (hi < new_first && bytes < target) {
-      const uint64_t members = PostingsInRange(hi, hi + 1);
-      sizes.push_back(static_cast<uint32_t>(members));
-      bytes += members * sizeof(graph::NodeId) + sizeof(uint32_t);
-      ++hi;
+  // Cluster gate: a pure function of num_nodes — never of load or
+  // schedule — so the chunk layout is deterministic. Tiny graphs keep
+  // the zero-copy dense layout: their whole member universe fits every
+  // chunk anyway, so clustering could not sharpen any filter.
+  constexpr uint64_t kClusterMinNodes = 4096;
+  const bool clustered = num_nodes_ >= kClusterMinNodes;
+  if (!clustered) {
+    // Dense carving: [first_resident_, new_first) in id order, each
+    // chunk's nodes column a zero-copy span of rr_nodes_.
+    std::vector<uint32_t> sizes;
+    uint64_t lo = first_resident_;
+    while (lo < new_first) {
+      uint64_t hi = lo;
+      uint64_t bytes = 0;
+      sizes.clear();
+      while (hi < new_first && bytes < target) {
+        const uint64_t members = PostingsInRange(hi, hi + 1);
+        sizes.push_back(static_cast<uint32_t>(members));
+        bytes += members * sizeof(graph::NodeId) + sizeof(uint32_t);
+        ++hi;
+      }
+      const uint64_t node_lo = rr_offsets_[lo - first_resident_];
+      const uint64_t node_hi = rr_offsets_[hi - first_resident_];
+      spill_->AppendChunk(lo, hi, sizes,
+                          std::span<const graph::NodeId>(
+                              rr_nodes_.data() + node_lo, node_hi - node_lo));
+      lo = hi;
     }
-    const uint64_t node_lo = rr_offsets_[lo - first_resident_];
-    const uint64_t node_hi = rr_offsets_[hi - first_resident_];
-    spill_->AppendChunk(lo, hi, sizes,
-                        std::span<const graph::NodeId>(
-                            rr_nodes_.data() + node_lo, node_hi - node_lo));
-    lo = hi;
+  } else {
+    // Node-clustered carving (see file comment): order the batch by each
+    // set's minimum member id — under the usual hub-first node numbering,
+    // the set's most influential member — then carve that order into
+    // target-sized chunks. Sets sharing a dominant member land together,
+    // so a chunk dies wholesale when that member is committed as a seed
+    // (every set containing it is covered) and later scans skip it via
+    // the caller's alive filter; chunks of sets with no low-id member get
+    // a tight node_min envelope and are skipped for hub queries outright.
+    // The order is a pure function of the batch's members, so the layout
+    // stays deterministic. The gathered nodes column is a copy — the
+    // price of clustering — but eviction is rare and the copy is one
+    // chunk at a time.
+    spill_->BeginBatch(first_resident_, new_first);
+    const uint64_t batch = new_first - first_resident_;
+    std::vector<graph::NodeId> anchor(batch, 0);
+    // Stable counting sort by anchor: O(batch + num_nodes) where a
+    // comparison sort costs O(batch log batch) — eviction sits on the
+    // critical path of every budget barrier, so the carve must stay
+    // cheap. Ties keep ascending id order (the scatter walks ids
+    // forward), exactly what a stable_sort by anchor would produce. The
+    // histogram is O(num_nodes), no bigger than the store's own per-node
+    // index structures.
+    std::vector<uint32_t> start(num_nodes_ + 1, 0);
+    for (uint64_t r = first_resident_; r < new_first; ++r) {
+      const std::span<const graph::NodeId> members = SetMembers(r);
+      graph::NodeId a = 0;
+      if (!members.empty()) {
+        a = members[0];
+        for (const graph::NodeId m : members) a = std::min(a, m);
+      }
+      anchor[r - first_resident_] = a;
+      ++start[a + 1];
+    }
+    for (uint64_t v = 1; v <= num_nodes_; ++v) start[v] += start[v - 1];
+    std::vector<uint32_t> order(batch);
+    for (uint64_t r = first_resident_; r < new_first; ++r) {
+      order[start[anchor[r - first_resident_]]++] =
+          static_cast<uint32_t>(r);
+    }
+    std::vector<uint32_t> sizes;
+    std::vector<uint32_t> ids;
+    std::vector<graph::NodeId> nodes;
+    size_t k = 0;
+    while (k < order.size()) {
+      ids.clear();
+      uint64_t bytes = 0;
+      while (k < order.size() && bytes < target) {
+        const uint32_t id = order[k];
+        // Charge sizes + nodes only — the same accounting as the dense
+        // path, so clustering never changes the chunk count. The sparse
+        // ids column rides on top of the target on disk.
+        bytes += PostingsInRange(id, id + 1) * sizeof(graph::NodeId) +
+                 sizeof(uint32_t);
+        ids.push_back(id);
+        ++k;
+      }
+      // Chunk membership is what clusters; on disk the contract stays
+      // "ids ascend within a chunk", so sort before gathering.
+      std::sort(ids.begin(), ids.end());
+      sizes.clear();
+      nodes.clear();
+      for (const uint32_t id : ids) {
+        const std::span<const graph::NodeId> members = SetMembers(id);
+        sizes.push_back(static_cast<uint32_t>(members.size()));
+        nodes.insert(nodes.end(), members.begin(), members.end());
+      }
+      // A run that came out contiguous needs no id list on disk or in
+      // the footer mirror.
+      const bool dense = ids.back() - ids.front() + 1 == ids.size();
+      spill_->AppendChunk(ids.front(), ids.back() + 1, sizes, nodes,
+                          dense ? std::span<const uint32_t>()
+                                : std::span<const uint32_t>(ids));
+    }
   }
   DropPrefix(new_first, pool);
 }
@@ -302,18 +385,41 @@ RrStore::ColdScan::ColdScan() = default;
 RrStore::ColdScan::~ColdScan() = default;
 
 std::unique_ptr<RrStore::ColdScan> RrStore::StartColdScan(
-    graph::NodeId v, uint64_t max_id, ThreadPool* pool) const {
+    graph::NodeId v, uint64_t max_id, ThreadPool* pool,
+    std::span<const uint8_t> alive) const {
   if (spill_ == nullptr) return nullptr;
   const std::span<const SpillFile::ChunkMeta> chunks = spill_->chunks();
+  // True when at least one of the chunk's set ids (capped at max_id) is
+  // still alive — evaluated on the in-memory id mirror, one byte load per
+  // set. No dead-prefix memo here: several views of a shared store filter
+  // with DIFFERENT alive vectors, so per-store cursors would be wrong.
+  const auto any_alive = [&](const SpillFile::ChunkMeta& m) {
+    if (m.ids.empty()) {
+      const uint64_t hi = std::min(m.set_hi, max_id);
+      for (uint64_t id = m.set_lo; id < hi; ++id) {
+        if (alive[id] != 0) return true;
+      }
+      return false;
+    }
+    for (const uint32_t id : m.ids) {
+      if (id >= max_id) break;  // ids ascend within a chunk
+      if (alive[id] != 0) return true;
+    }
+    return false;
+  };
   std::vector<uint32_t> cand;
   std::vector<uint32_t> disk;  // cand minus the recovered-chunk cache
   uint64_t considered = 0;
   for (uint32_t i = 0; i < chunks.size(); ++i) {
-    if (chunks[i].set_lo >= max_id) break;  // chunk ranges ascend
+    // set_lo is the chunk's minimum id (also for sparse chunks). Sharded
+    // batches interleave id ranges across chunks, so no early break.
+    if (chunks[i].set_lo >= max_id) continue;
     ++considered;
-    // Footer-only skip test: set-range overlap established above, then
-    // node envelope + Bloom filter. No disk I/O on this path.
+    // Footer-only skip tests: set-range overlap established above, then
+    // node envelope + Bloom filter, then the alive filter — cheapest
+    // first, no disk I/O on any of them.
     if (!spill_->ChunkMightContain(i, v)) continue;
+    if (!alive.empty() && !any_alive(chunks[i])) continue;
     cand.push_back(i);
     if (!recovered_.contains(i)) disk.push_back(i);
   }
@@ -326,12 +432,14 @@ std::unique_ptr<RrStore::ColdScan> RrStore::StartColdScan(
   scan->node = v;
   scan->max_id = max_id;
   scan->chunks = std::move(cand);
-  // The cursor issues the first chunk's read here; the bytes stream in
-  // while the caller runs whatever compute it wants to overlap. Recovered
-  // chunks are served from the resident cache, never re-read from disk.
+  // The cursor batch-submits up to scan_ring_depth_ chunk reads here; the
+  // bytes stream in while the caller runs whatever compute it wants to
+  // overlap. Recovered chunks are served from the resident cache, never
+  // re-read from disk.
   if (!disk.empty()) {
-    scan->cursor =
-        std::make_unique<SpillChunkCursor>(*spill_, std::move(disk), pool);
+    scan->cursor = std::make_unique<SpillChunkCursor>(
+        *spill_, std::move(disk), pool, scan_ring_depth_,
+        /*use_direct=*/ScanDirectReads());
   }
   return scan;
 }
@@ -350,25 +458,40 @@ const RrStore::RecoveredChunk& RrStore::RecoverChunk(uint32_t chunk) const {
         "RrStore: unreadable spill chunk and no re-sampler installed");
   }
   RecoveredChunk rec;
-  rec.sizes.reserve(m.set_hi - m.set_lo);
+  rec.sizes.reserve(m.NumSets());
   rec.nodes.reserve(m.postings);
   std::vector<uint32_t> part_sizes;
   std::vector<graph::NodeId> part_nodes;
-  uint64_t pos = m.set_lo;
-  for (const ProvenanceRange& p : provenance_) {
-    if (p.hi <= pos) continue;
-    if (p.lo > pos) break;  // gap: ids [pos, p.lo) have no provenance
-    const uint64_t hi = std::min(p.hi, m.set_hi);
-    resampler_(p.seed, pos, hi, &part_sizes, &part_nodes);
-    rec.sizes.insert(rec.sizes.end(), part_sizes.begin(), part_sizes.end());
-    rec.nodes.insert(rec.nodes.end(), part_nodes.begin(), part_nodes.end());
-    pos = hi;
-    if (pos == m.set_hi) break;
-  }
-  if (pos != m.set_hi) {
-    throw SpillIoError(
-        "RrStore: unreadable spill chunk covers sets with no recorded "
-        "provenance seed (serially sampled batch)");
+  const auto resample_run = [&](uint64_t lo, uint64_t hi) {
+    uint64_t pos = lo;
+    for (const ProvenanceRange& p : provenance_) {
+      if (p.hi <= pos) continue;
+      if (p.lo > pos) break;  // gap: ids [pos, p.lo) have no provenance
+      const uint64_t rhi = std::min(p.hi, hi);
+      resampler_(p.seed, pos, rhi, &part_sizes, &part_nodes);
+      rec.sizes.insert(rec.sizes.end(), part_sizes.begin(), part_sizes.end());
+      rec.nodes.insert(rec.nodes.end(), part_nodes.begin(), part_nodes.end());
+      pos = rhi;
+      if (pos == hi) break;
+    }
+    if (pos != hi) {
+      throw SpillIoError(
+          "RrStore: unreadable spill chunk covers sets with no recorded "
+          "provenance seed (serially sampled batch)");
+    }
+  };
+  if (m.ids.empty()) {
+    resample_run(m.set_lo, m.set_hi);
+  } else {
+    // Sparse chunk: regenerate each maximal consecutive id run — the
+    // columns come out in the chunk's own (ascending id-list) order.
+    size_t k = 0;
+    while (k < m.ids.size()) {
+      size_t j = k + 1;
+      while (j < m.ids.size() && m.ids[j] == m.ids[j - 1] + 1) ++j;
+      resample_run(m.ids[k], static_cast<uint64_t>(m.ids[j - 1]) + 1);
+      k = j;
+    }
   }
   // Cross-check the regenerated columns against the chunk footer — a
   // mismatch means the re-sampler does not reproduce the original bits,
@@ -379,9 +502,8 @@ const RrStore::RecoveredChunk& RrStore::RecoverChunk(uint32_t chunk) const {
     node_min = std::min(node_min, v);
     node_max = std::max(node_max, v);
   }
-  if (rec.sizes.size() != m.set_hi - m.set_lo ||
-      rec.nodes.size() != m.postings || node_min != m.node_min ||
-      node_max != m.node_max) {
+  if (rec.sizes.size() != m.NumSets() || rec.nodes.size() != m.postings ||
+      node_min != m.node_min || node_max != m.node_max) {
     throw SpillIoError(
         "RrStore: re-sampled chunk disagrees with its footer (provenance "
         "seed or re-sampler mismatch)");
@@ -389,7 +511,7 @@ const RrStore::RecoveredChunk& RrStore::RecoverChunk(uint32_t chunk) const {
   recovered_bytes_ += rec.sizes.capacity() * sizeof(uint32_t) +
                       rec.nodes.capacity() * sizeof(graph::NodeId);
   ++degradation_events_;
-  recovered_sets_ += m.set_hi - m.set_lo;
+  recovered_sets_ += m.NumSets();
   ISA_LOG("RrStore: recovered spill chunk %u (sets [%llu, %llu)) by "
           "re-sampling",
           chunk, static_cast<unsigned long long>(m.set_lo),
@@ -398,7 +520,7 @@ const RrStore::RecoveredChunk& RrStore::RecoverChunk(uint32_t chunk) const {
 }
 
 void RrStore::FinishColdScan(
-    ColdScan& scan, const std::function<bool(uint64_t)>& candidate,
+    ColdScan& scan, std::span<const uint8_t> alive,
     const std::function<void(uint64_t, std::span<const graph::NodeId>)>& fn)
     const {
   const std::span<const SpillFile::ChunkMeta> chunks = spill_->chunks();
@@ -423,6 +545,8 @@ void RrStore::FinishColdScan(
         // Permanent read failure mid-pipeline: abandon the cursor (this
         // chunk and every later disk chunk fall through to the per-chunk
         // path below — one fresh re-read, then re-sample recovery).
+        reads_in_flight_peak_ = std::max(reads_in_flight_peak_,
+                                         scan.cursor->reads_in_flight_peak());
         scan.cursor.reset();
       }
     }
@@ -439,13 +563,13 @@ void RrStore::FinishColdScan(
     }
     uint64_t off = 0;
     for (uint64_t s = 0; s < sizes.size(); ++s) {
-      const uint64_t id = m.set_lo + s;
+      const uint64_t id = m.SetIdAt(s);
       const uint32_t size = sizes[s];
-      if (id >= scan.max_id) break;
-      // The candidate filter runs before the membership scan: among old
-      // spilled sets most are already covered, and they must cost nothing
-      // beyond the chunk read itself.
-      if (candidate == nullptr || candidate(id)) {
+      if (id >= scan.max_id) break;  // ids ascend within a chunk
+      // The alive filter runs before the membership scan: among old
+      // spilled sets most are already covered, and they must cost one
+      // byte load beyond the chunk read itself, nothing more.
+      if (alive.empty() || alive[id] != 0) {
         const graph::NodeId* members = nodes.data() + off;
         for (uint32_t i = 0; i < size; ++i) {
           if (members[i] == scan.node) {
@@ -457,15 +581,19 @@ void RrStore::FinishColdScan(
       off += size;
     }
   }
+  if (scan.cursor != nullptr) {
+    reads_in_flight_peak_ = std::max(reads_in_flight_peak_,
+                                     scan.cursor->reads_in_flight_peak());
+  }
 }
 
 void RrStore::ForEachSpilledSetContaining(
     graph::NodeId v, uint64_t max_id, ThreadPool* pool,
-    const std::function<bool(uint64_t)>& candidate,
+    std::span<const uint8_t> alive,
     const std::function<void(uint64_t, std::span<const graph::NodeId>)>& fn)
     const {
-  std::unique_ptr<ColdScan> scan = StartColdScan(v, max_id, pool);
-  if (scan != nullptr) FinishColdScan(*scan, candidate, fn);
+  std::unique_ptr<ColdScan> scan = StartColdScan(v, max_id, pool, alive);
+  if (scan != nullptr) FinishColdScan(*scan, alive, fn);
 }
 
 uint64_t RrStore::SpilledBytes() const {
@@ -482,6 +610,17 @@ uint64_t RrStore::spill_retry_successes() const {
 
 uint64_t RrStore::SpillChunks() const {
   return spill_ == nullptr ? 0 : spill_->num_chunks();
+}
+
+bool RrStore::ScanDirectReads() const {
+  return spill_ != nullptr && spill_->direct_io_active() &&
+         spill_->bytes_on_disk() >= scan_direct_min_bytes_;
+}
+
+bool RrStore::direct_io_active() const { return ScanDirectReads(); }
+
+uint64_t RrStore::direct_fallbacks() const {
+  return spill_ == nullptr ? 0 : spill_->direct_fallbacks();
 }
 
 // -------------------------------------------------------------- accounting

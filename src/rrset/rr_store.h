@@ -33,11 +33,30 @@
 // slack. A spill rebuilds the index the same way, so the index never
 // holds a spilled id.
 //
+// Node-clustered chunk layout: within one eviction batch, sets are
+// ordered by their ANCHOR — the minimum member node id, which under the
+// usual hub-first numbering is the set's most influential member — and
+// that order is carved into target-sized chunks (a stable counting sort;
+// the layout is a pure function of the batch's members, never of load).
+// Sets sharing a dominant member land in the same chunks, so when that
+// member is committed as a seed every set containing it dies at once and
+// whole chunks drop out of later scans via the caller's alive filter;
+// chunks whose sets have no low-id member get a tight node_min envelope
+// and are skipped for hub queries without any I/O. Clustered chunks carry
+// an explicit ascending id list (sparse chunks, spill_file.h). The gate
+// is a pure function of num_nodes: tiny graphs keep the dense zero-copy
+// carve, since every chunk would contain the whole member universe
+// anyway.
+//
 // Determinism: nothing here draws randomness. Spilling changes only WHERE
-// set bytes live, never their values or the order scans visit them
-// (ascending set id, cold chunks before the hot index), so any computation
-// over the store is bit-identical at any spill schedule, worker count, or
-// memory budget.
+// set bytes live, never their values or the order scans visit them: cold
+// chunks stream in deterministic file order with ids ascending WITHIN each
+// chunk (globally ascending only until clustering interleaves a batch's id
+// ranges), then the hot index ascending. Consumers' per-set applies
+// commute across that reorder (RemoveCoveredBy sets alive flags and
+// decrements per-ad sums — order-independent per distinct id), so any
+// computation over the store is bit-identical at any spill schedule,
+// worker count, queue depth, or memory budget.
 
 #ifndef ISA_RRSET_RR_STORE_H_
 #define ISA_RRSET_RR_STORE_H_
@@ -175,18 +194,24 @@ class RrStore {
   /// spilled).
   uint64_t first_resident_set() const { return first_resident_; }
 
-  /// Invokes fn(set_id, members) in ascending id order for every SPILLED
-  /// set with id < max_id whose members contain `v`. Chunks whose footer
-  /// metadata excludes `v` — set range at or beyond max_id, node-envelope
-  /// miss, or Bloom-filter miss (spill_file.h) — are skipped without
-  /// touching disk; the rest are streamed through a SpillChunkCursor,
-  /// which prefetches chunk k+1 (io_uring or a `pool` worker; plain pread
-  /// when neither is available) while chunk k is applied. fn always runs
-  /// serially in ascending chunk order, so the call sequence is identical
-  /// with the prefetch on or off. A non-null `candidate` predicate
-  /// pre-filters set ids BEFORE the membership test (callers pass their
-  /// alive filter, so already-covered sets — the common case among old
-  /// spilled sets — cost nothing beyond the chunk read). Counters: one
+  /// Invokes fn(set_id, members) for every SPILLED set with id < max_id
+  /// whose members contain `v` — in deterministic chunk (file) order, ids
+  /// ascending within each chunk (globally ascending only while no
+  /// node-clustered batch interleaves ranges; fn must commute across chunk
+  /// reorder, which coverage removal does). Chunks whose footer metadata
+  /// excludes `v` — id range at or beyond max_id, node-envelope miss, or
+  /// Bloom-filter miss (spill_file.h) — are skipped without touching
+  /// disk; the rest are streamed through a SpillChunkCursor, which keeps
+  /// up to the spill ring depth of further chunks' reads in flight
+  /// (io_uring, pool workers, or plain pread) while chunk k is applied.
+  /// fn always runs serially in list order, so the call sequence is
+  /// identical at any queue depth. A non-empty `alive` byte span (one
+  /// byte per set id, nonzero = pass; must cover every id below max_id)
+  /// pre-filters set ids BEFORE the membership test — callers pass their
+  /// alive flags, so already-covered sets — the common case among old
+  /// spilled sets — cost one byte load, not a member scan. A raw span
+  /// rather than a predicate: the test runs once per spilled set per
+  /// scan, far too hot for an indirect call. Counters: one
   /// scan_reloads() tick per call that consulted the cold tier; each
   /// considered chunk lands in chunks_read() or chunks_skipped(). A chunk
   /// whose read permanently fails is healed in place — re-read once, then
@@ -194,7 +219,7 @@ class RrStore {
   /// escapes only when recovery itself is impossible.
   void ForEachSpilledSetContaining(
       graph::NodeId v, uint64_t max_id, ThreadPool* pool,
-      const std::function<bool(uint64_t)>& candidate,
+      std::span<const uint8_t> alive,
       const std::function<void(uint64_t, std::span<const graph::NodeId>)>&
           fn) const;
 
@@ -218,13 +243,21 @@ class RrStore {
   /// chunks (updating the scan counters) and starts the first chunk read.
   /// Returns null when the cold tier contributes nothing to this scan —
   /// no spill, no chunk overlapping [0, max_id), or every overlapping
-  /// chunk filtered out.
-  std::unique_ptr<ColdScan> StartColdScan(graph::NodeId v, uint64_t max_id,
-                                          ThreadPool* pool) const;
-  /// Second half: streams the scan's chunks and applies candidate/fn in
+  /// chunk filtered out. A non-empty `alive` span adds a fourth
+  /// footer-only skip test: a chunk none of whose mirrored set ids
+  /// (dense range or sparse list, capped at max_id) is alive is skipped
+  /// without I/O — under the clustered layout whole chunks die when
+  /// their anchor node is committed as a seed, so this skip grows
+  /// stronger as the greedy run progresses. The span must match the one
+  /// later given to FinishColdScan (monotone narrowing is fine: ids can
+  /// die between the calls, never revive).
+  std::unique_ptr<ColdScan> StartColdScan(
+      graph::NodeId v, uint64_t max_id, ThreadPool* pool,
+      std::span<const uint8_t> alive = {}) const;
+  /// Second half: streams the scan's chunks and applies alive/fn in
   /// ascending id order (contract as above). Consumes the scan.
   void FinishColdScan(
-      ColdScan& scan, const std::function<bool(uint64_t)>& candidate,
+      ColdScan& scan, std::span<const uint8_t> alive,
       const std::function<void(uint64_t, std::span<const graph::NodeId>)>&
           fn) const;
 
@@ -271,6 +304,17 @@ class RrStore {
   uint64_t chunks_read() const { return chunks_read_; }
   /// Overlapping chunks skipped without disk I/O (envelope or Bloom miss).
   uint64_t chunks_skipped() const { return chunks_skipped_; }
+  /// High-water mark of cold-chunk reads in flight over all scans (0 until
+  /// a scan actually overlapped reads; bounded by the spill ring depth).
+  uint64_t reads_in_flight_peak() const { return reads_in_flight_peak_; }
+  /// True when cold scans currently read through O_DIRECT: the spill
+  /// file's direct fd is open (SpillFile::direct_io_active) AND the file
+  /// has outgrown SpillOptions::direct_io_min_bytes — below that, scans
+  /// deliberately stay on the buffered fd, where the bytes the spill just
+  /// wrote are plain page-cache hits. False before any spill.
+  bool direct_io_active() const;
+  /// Direct-read failures healed by buffered re-reads (SpillFile).
+  uint64_t direct_fallbacks() const;
 
   // ---- Accounting. ----
 
@@ -330,11 +374,19 @@ class RrStore {
 
   // Cold tier (created on first SpillPrefix). The scan counters mutate on
   // const scans; updated only from the (single) thread calling
-  // StartColdScan, never from the prefetch backend.
+  // StartColdScan / FinishColdScan, never from the prefetch backend.
   std::unique_ptr<SpillFile> spill_;
+  // Queue depth for scan cursors (SpillOptions::io_ring_depth, recorded
+  // at spill time; the default matches AsyncFileReader::kDefaultDepth).
+  uint32_t scan_ring_depth_ = 16;
+  // Scan-side direct-read gate (SpillOptions::direct_io_min_bytes,
+  // recorded at spill time): scans use the O_DIRECT fd only once the file
+  // holds at least this many bytes. See ScanDirectReads().
+  uint64_t scan_direct_min_bytes_ = 64ull << 20;
   mutable uint64_t scan_reloads_ = 0;
   mutable uint64_t chunks_read_ = 0;
   mutable uint64_t chunks_skipped_ = 0;
+  mutable uint64_t reads_in_flight_peak_ = 0;
 
   // ---- re-sample recovery state ----
 
@@ -358,6 +410,10 @@ class RrStore {
     std::vector<graph::NodeId> nodes;
   };
   const RecoveredChunk& RecoverChunk(uint32_t chunk) const;
+  // Whether a cold scan started now would use the O_DIRECT fd (the
+  // direct_io_min_bytes gate) — the scan-level truth direct_io_active()
+  // reports.
+  bool ScanDirectReads() const;
   mutable std::map<uint32_t, RecoveredChunk> recovered_;
   mutable uint64_t recovered_bytes_ = 0;  // cache footprint, in MemoryBytes
   mutable uint64_t degradation_events_ = 0;

@@ -1,14 +1,17 @@
 #include "rrset/spill_file.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <bit>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <new>
 #include <thread>
 
 #include "common/failpoint.h"
@@ -19,10 +22,11 @@ namespace isa::rrset {
 
 namespace {
 
-// The on-disk footer v2: ChunkMeta's scalar fields at fixed width plus the
-// Bloom column's length, written after each chunk's payload + filter so
-// the file is self-describing (a backward walk from EOF recovers every
-// footer; magic + version pin the layout).
+// The on-disk footer v3: ChunkMeta's scalar fields at fixed width plus the
+// Bloom and id columns' lengths, written LAST in each chunk's padded
+// region so the file is self-describing (a backward walk from EOF reads
+// the final footer, whose file_offset locates its region's start — the
+// previous footer ends right there; magic + version pin the layout).
 struct DiskFooter {
   uint64_t set_lo;
   uint64_t set_hi;
@@ -30,13 +34,25 @@ struct DiskFooter {
   uint32_t node_max;
   uint64_t file_offset;
   uint64_t postings;
-  uint64_t bloom_words;  // the filter precedes this footer on disk
+  uint64_t bloom_words;  // the filter follows the payload on disk
+  uint32_t num_sets;     // < set_hi - set_lo means a sparse id list follows
+                         // the filter (num_sets uint32 ids, ascending)
   uint32_t version;
   uint32_t magic;
+  uint32_t pad0;
 };
-static_assert(sizeof(DiskFooter) == 56);
-constexpr uint32_t kFooterMagic = 0x32415349;  // "ISA2"
-constexpr uint32_t kFooterVersion = 2;
+static_assert(sizeof(DiskFooter) == 64);
+constexpr uint32_t kFooterMagic = 0x33415349;  // "ISA3"
+constexpr uint32_t kFooterVersion = 3;
+
+// Chunk regions start and end on this boundary at minimum, whatever the
+// O_DIRECT probe said — the layout must not depend on the filesystem du
+// jour, only the probed alignment may RAISE it.
+constexpr uint32_t kMinIoAlignment = 4096;
+
+uint64_t RoundUp(uint64_t x, uint64_t align) {
+  return (x + align - 1) / align * align;
+}
 
 [[noreturn]] void ThrowIo(const char* op, const char* path,
                           const char* detail) {
@@ -174,6 +190,25 @@ void SpillFile::ReadAll(void* data, size_t len, uint64_t offset) const {
   }
 }
 
+void SpillFile::SyncForDirectReads() const {
+  if (direct_fd_ < 0) return;
+  if (!dirty_.exchange(false, std::memory_order_acq_rel)) return;
+  int rc;
+  do {
+    rc = ::fdatasync(fd_);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    // Direct reads would race the unflushed page cache — demote the file
+    // to buffered reads for the rest of its life rather than risk stale
+    // bytes. Buffered reads see the cache and stay coherent.
+    ISA_LOG("SpillFile: fdatasync(%s) failed (%s); disabling O_DIRECT",
+            path_.c_str(), std::strerror(errno));
+    ::close(direct_fd_);
+    direct_fd_ = -1;
+    dirty_.store(true, std::memory_order_relaxed);
+  }
+}
+
 std::string MakeSpillPath(const std::string& dir) {
   static std::atomic<uint64_t> seq{0};
   std::string base = dir;
@@ -186,7 +221,8 @@ std::string MakeSpillPath(const std::string& dir) {
          std::to_string(seq.fetch_add(1)) + ".bin";
 }
 
-SpillFile::SpillFile(std::string path, uint32_t bloom_bits_per_key)
+SpillFile::SpillFile(std::string path, uint32_t bloom_bits_per_key,
+                     bool direct_io)
     : path_(std::move(path)), bloom_bits_per_key_(bloom_bits_per_key) {
   // O_EXCL (and no O_TRUNC): the spill path is predictable
   // (pid + sequence), so a file or symlink planted there by another
@@ -203,21 +239,76 @@ SpillFile::SpillFile(std::string path, uint32_t bloom_bits_per_key)
     }
     path_ = requested + "." + std::to_string(attempt);
   }
+  // O_DIRECT probe: a second read-only fd for cold scans. tmpfs and some
+  // network filesystems reject the flag outright — that is the buffered
+  // fallback, not an error. ISA_DISABLE_O_DIRECT forces the fallback,
+  // mirroring the ISA_DISABLE_IO_URING switch, and is re-read per open so
+  // tests can toggle it.
+  if (direct_io && std::getenv("ISA_DISABLE_O_DIRECT") == nullptr) {
+    direct_fd_ = ::open(path_.c_str(),
+                        O_RDONLY | O_DIRECT | O_CLOEXEC | O_NOFOLLOW);
+  }
+#ifdef STATX_DIOALIGN
+  if (direct_fd_ >= 0) {
+    struct statx stx{};
+    if (::statx(direct_fd_, "", AT_EMPTY_PATH, STATX_DIOALIGN, &stx) == 0 &&
+        (stx.stx_mask & STATX_DIOALIGN) != 0) {
+      if (stx.stx_dio_offset_align == 0 || stx.stx_dio_mem_align == 0) {
+        // The filesystem took the flag but cannot serve direct I/O here.
+        ::close(direct_fd_);
+        direct_fd_ = -1;
+      } else {
+        // One alignment serves offsets, lengths and buffers alike; the
+        // probe may only raise the floor, never lower it, so the chunk
+        // layout stays deterministic across filesystems.
+        io_alignment_ = std::max(
+            kMinIoAlignment,
+            std::max(stx.stx_dio_offset_align, stx.stx_dio_mem_align));
+      }
+    }
+  }
+#endif
+  ISA_CHECK(std::has_single_bit(io_alignment_));
 }
 
 SpillFile::~SpillFile() {
+  if (direct_fd_ >= 0) ::close(direct_fd_);
   if (fd_ >= 0) ::close(fd_);
   ::unlink(path_.c_str());
 }
 
+void SpillFile::BeginBatch(uint64_t batch_lo, uint64_t batch_hi) {
+  ISA_CHECK(batch_lo <= batch_hi);
+  // Batches must tile ascending id ranges without overlap — a lower bound
+  // means a caller re-spilled a range after a SpillIoError (the file is
+  // then inconsistent; fail loudly).
+  ISA_CHECK(batch_lo >= max_set_hi_);
+  batch_active_ = true;
+  batch_lo_ = batch_lo;
+  batch_hi_ = batch_hi;
+  max_set_hi_ = batch_hi;
+}
+
 void SpillFile::AppendChunk(uint64_t set_lo, uint64_t set_hi,
                             std::span<const uint32_t> sizes,
-                            std::span<const graph::NodeId> nodes) {
-  ISA_CHECK(set_hi - set_lo == sizes.size());
-  // Chunks must tile ascending id ranges without overlap — scans rely on
-  // it, and an overlap here means a caller re-spilled a range after a
-  // SpillIoError (the file is then inconsistent; fail loudly).
-  ISA_CHECK(chunks_.empty() || set_lo == chunks_.back().set_hi);
+                            std::span<const graph::NodeId> nodes,
+                            std::span<const uint32_t> ids) {
+  if (ids.empty()) {
+    ISA_CHECK(set_hi - set_lo == sizes.size());
+  } else {
+    ISA_CHECK(ids.size() == sizes.size());
+    ISA_CHECK(set_lo == ids.front() && set_hi == ids.back() + 1);
+  }
+  if (batch_active_) {
+    // Sharded chunks of one batch may interleave id-wise; they must stay
+    // inside the declared batch range.
+    ISA_CHECK(set_lo >= batch_lo_ && set_hi <= batch_hi_);
+  } else {
+    // Without a batch, chunks tile ascending ranges directly (see
+    // BeginBatch for why a lower id must fail).
+    ISA_CHECK(set_lo >= max_set_hi_);
+    max_set_hi_ = set_hi;
+  }
   ChunkMeta meta;
   meta.set_lo = set_lo;
   meta.set_hi = set_hi;
@@ -225,6 +316,7 @@ void SpillFile::AppendChunk(uint64_t set_lo, uint64_t set_hi,
   meta.postings = nodes.size();
   meta.node_min = nodes.empty() ? 0 : UINT32_MAX;
   meta.node_max = 0;
+  meta.ids.assign(ids.begin(), ids.end());
   for (graph::NodeId v : nodes) {
     if (v < meta.node_min) meta.node_min = v;
     if (v > meta.node_max) meta.node_max = v;
@@ -245,14 +337,31 @@ void SpillFile::AppendChunk(uint64_t set_lo, uint64_t set_hi,
     for (graph::NodeId v : nodes) BloomInsert(meta.bloom, v);
   }
 
-  WriteAll(sizes.data(), sizes.size_bytes(), bytes_);
-  bytes_ += sizes.size_bytes();
-  WriteAll(nodes.data(), nodes.size_bytes(), bytes_);
-  bytes_ += nodes.size_bytes();
+  // Region layout: [sizes][nodes][bloom][ids][zero pad][footer], the
+  // footer flush against the next alignment boundary so every chunk's
+  // file_offset is aligned and an alignment-rounded payload read never
+  // crosses EOF.
+  uint64_t cursor = bytes_;
+  WriteAll(sizes.data(), sizes.size_bytes(), cursor);
+  cursor += sizes.size_bytes();
+  WriteAll(nodes.data(), nodes.size_bytes(), cursor);
+  cursor += nodes.size_bytes();
   const uint64_t bloom_bytes = meta.bloom.size() * sizeof(uint64_t);
   if (bloom_bytes > 0) {
-    WriteAll(meta.bloom.data(), bloom_bytes, bytes_);
-    bytes_ += bloom_bytes;
+    WriteAll(meta.bloom.data(), bloom_bytes, cursor);
+    cursor += bloom_bytes;
+  }
+  if (!meta.ids.empty()) {
+    WriteAll(meta.ids.data(), meta.ids.size() * sizeof(uint32_t), cursor);
+    cursor += meta.ids.size() * sizeof(uint32_t);
+  }
+  const uint64_t region_end =
+      RoundUp(cursor + sizeof(DiskFooter), io_alignment_);
+  const uint64_t pad = region_end - sizeof(DiskFooter) - cursor;
+  if (pad > 0) {
+    const std::vector<char> zeros(pad, 0);
+    WriteAll(zeros.data(), pad, cursor);
+    cursor += pad;
   }
   const DiskFooter footer{meta.set_lo,
                           meta.set_hi,
@@ -261,18 +370,22 @@ void SpillFile::AppendChunk(uint64_t set_lo, uint64_t set_hi,
                           meta.file_offset,
                           meta.postings,
                           static_cast<uint64_t>(meta.bloom.size()),
+                          static_cast<uint32_t>(meta.NumSets()),
                           kFooterVersion,
-                          kFooterMagic};
-  WriteAll(&footer, sizeof(footer), bytes_);
-  bytes_ += sizeof(footer);
+                          kFooterMagic,
+                          0};
+  WriteAll(&footer, sizeof(footer), cursor);
+  bytes_ = region_end;
   bloom_bytes_ += meta.bloom.capacity() * sizeof(uint64_t);
+  ids_bytes_ += meta.ids.capacity() * sizeof(uint32_t);
   chunks_.push_back(std::move(meta));
+  dirty_.store(true, std::memory_order_release);
 }
 
 void SpillFile::ReadChunk(size_t chunk, std::vector<uint32_t>* sizes,
                           std::vector<graph::NodeId>* nodes) const {
   const ChunkMeta& meta = chunks_[chunk];
-  sizes->resize(meta.set_hi - meta.set_lo);
+  sizes->resize(meta.NumSets());
   nodes->resize(meta.postings);
   ReadAll(sizes->data(), sizes->size() * sizeof(uint32_t), meta.file_offset);
   ReadAll(nodes->data(), nodes->size() * sizeof(graph::NodeId),
@@ -291,26 +404,79 @@ bool SpillFile::ChunkMightContain(size_t chunk, graph::NodeId v) const {
 
 SpillChunkCursor::SpillChunkCursor(const SpillFile& file,
                                    std::vector<uint32_t> chunks,
-                                   ThreadPool* pool)
-    : file_(file), chunks_(std::move(chunks)), reader_(pool) {
-  if (!chunks_.empty()) IssueRead(0);
+                                   ThreadPool* pool, uint32_t depth,
+                                   bool use_direct)
+    : file_(file),
+      chunks_(std::move(chunks)),
+      reader_(pool, AsyncIoBackend::kAuto, std::max(1u, depth)) {
+  direct_ = use_direct && file_.direct_io_active();
+  if (direct_) {
+    file_.SyncForDirectReads();
+    // SyncForDirectReads may have demoted the file mid-probe.
+    direct_ = file_.direct_io_active();
+  }
+  // depth buffers in flight + 1 being consumed; positions use idx % size.
+  bufs_.resize(std::min<size_t>(
+      chunks_.size(), static_cast<size_t>(reader_.depth()) + 1));
+  const size_t first = std::min<size_t>(reader_.depth(), chunks_.size());
+  std::vector<AsyncReadRequest> reqs;
+  reqs.reserve(first);
+  for (size_t i = 0; i < first; ++i) reqs.push_back(RequestFor(i));
+  if (!reqs.empty()) reader_.SubmitBatch(reqs);
+  next_submit_ = first;
 }
 
-void SpillChunkCursor::IssueRead(size_t idx) {
+SpillChunkCursor::~SpillChunkCursor() {
+  // Drain in-flight reads BEFORE freeing their buffers: the reader member
+  // is declared after bufs_, so it destructs first, but be explicit.
+  while (reader_.in_flight()) static_cast<void>(reader_.Wait());
+  for (AlignedBuffer& b : bufs_) std::free(b.data);
+}
+
+AsyncReadRequest SpillChunkCursor::RequestFor(size_t idx) {
   const SpillFile::ChunkMeta& meta = file_.chunks_[chunks_[idx]];
-  std::vector<uint32_t>& buf = buf_[idx & 1];
-  buf.resize(meta.PayloadBytes() / sizeof(uint32_t));
-  reader_.Start(file_.fd_, meta.file_offset, buf.data(),
-                meta.PayloadBytes());
+  AlignedBuffer& b = bufs_[idx % bufs_.size()];
+  const size_t payload = meta.PayloadBytes();
+  // Direct reads must cover whole alignment units; the chunk region is
+  // padded so the rounded read stays inside it.
+  const size_t want =
+      direct_ ? RoundUp(payload, file_.io_alignment()) : payload;
+  if (b.cap < want) {
+    std::free(b.data);
+    b.data = nullptr;
+    b.cap = 0;
+    void* p = nullptr;
+    if (posix_memalign(&p, file_.io_alignment(), want) != 0) {
+      throw std::bad_alloc();
+    }
+    b.data = static_cast<char*>(p);
+    b.cap = want;
+  }
+  return {direct_ ? file_.direct_fd_ : file_.fd_, meta.file_offset, b.data,
+          want};
 }
 
 bool SpillChunkCursor::Next() {
   if (pos_ == chunks_.size()) return false;
   const SpillFile::ChunkMeta& meta = file_.chunks_[chunks_[pos_]];
+  AlignedBuffer& b = bufs_[pos_ % bufs_.size()];
   int err = reader_.Wait();
   if (const int e = FailPointHit("spill.read")) err = e;
-  // A transiently failed chunk is re-read synchronously — the pipeline's
-  // overlap is lost for one chunk, its bytes and apply order are not.
+  if (err != 0 && !TransientIoError(err) && direct_) {
+    // O_DIRECT fallback rung: a PERMANENT-looking direct-path failure
+    // (alignment quirk, driver refusal — typically EINVAL) gets one
+    // buffered re-read before it costs the scan its chunk. Transient
+    // errors skip this rung and take the counted retry ladder below.
+    file_.direct_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    err = FailPointHit("spill.read");
+    if (err == 0) {
+      err = PreadOnce(file_.fd_, b.data, meta.PayloadBytes(),
+                      meta.file_offset);
+    }
+  }
+  // A transiently failed chunk is re-read synchronously (buffered) — the
+  // pipeline's overlap is lost for one chunk, its bytes and apply order
+  // are not.
   for (int attempt = 1;
        err != 0 && TransientIoError(err) && attempt < kMaxIoAttempts;
        ++attempt) {
@@ -318,7 +484,7 @@ bool SpillChunkCursor::Next() {
     BackoffYield(attempt - 1);
     err = FailPointHit("spill.read");
     if (err == 0) {
-      err = PreadOnce(file_.fd_, buf_[pos_ & 1].data(), meta.PayloadBytes(),
+      err = PreadOnce(file_.fd_, b.data, meta.PayloadBytes(),
                       meta.file_offset);
     }
     if (err == 0) {
@@ -329,21 +495,29 @@ bool SpillChunkCursor::Next() {
     ThrowIo("read", file_.path_.c_str(), IoErrorDetail(err));
   }
   ++pos_;
-  // The pipeline: the NEXT chunk's bytes stream in while the caller
-  // consumes the spans below.
-  if (pos_ < chunks_.size()) IssueRead(pos_);
+  // Keep the queue full: one new submission per delivery tops the window
+  // back up to depth outstanding reads.
+  if (next_submit_ < chunks_.size() &&
+      reader_.pending() < reader_.depth()) {
+    const AsyncReadRequest req = RequestFor(next_submit_);
+    reader_.Start(req.fd, req.offset, req.buf, req.len);
+    ++next_submit_;
+  }
   return true;
+}
+
+const uint32_t* SpillChunkCursor::PayloadAt(size_t idx) const {
+  return reinterpret_cast<const uint32_t*>(bufs_[idx % bufs_.size()].data);
 }
 
 std::span<const uint32_t> SpillChunkCursor::sizes() const {
   const SpillFile::ChunkMeta& meta = file_.chunks_[chunks_[pos_ - 1]];
-  return {buf_[(pos_ - 1) & 1].data(), meta.set_hi - meta.set_lo};
+  return {PayloadAt(pos_ - 1), meta.NumSets()};
 }
 
 std::span<const graph::NodeId> SpillChunkCursor::nodes() const {
   const SpillFile::ChunkMeta& meta = file_.chunks_[chunks_[pos_ - 1]];
-  return {buf_[(pos_ - 1) & 1].data() + (meta.set_hi - meta.set_lo),
-          meta.postings};
+  return {PayloadAt(pos_ - 1) + meta.NumSets(), meta.postings};
 }
 
 }  // namespace isa::rrset

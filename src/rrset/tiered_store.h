@@ -49,6 +49,13 @@ struct TieredStoreOptions {
   /// Directory for the chunk file (empty = system temp directory). The
   /// file is removed when the store dies.
   std::string spill_directory;
+  /// Cold-scan queue depth (see SpillOptions::io_ring_depth).
+  uint32_t io_ring_depth = 16;
+  /// O_DIRECT cold-scan reads (see SpillOptions::direct_io).
+  bool direct_io = true;
+  /// Spill size below which scans stay buffered even with direct I/O on
+  /// (see SpillOptions::direct_io_min_bytes). 0 = direct immediately.
+  uint64_t direct_io_min_bytes = 64ull << 20;
 };
 
 /// Budget policy over one RrStore (see file comment). Not thread-safe;

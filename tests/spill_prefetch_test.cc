@@ -294,10 +294,13 @@ TEST(SpillPrefetchTest, ScanCountersPartitionConsideredChunks) {
     const uint64_t skip0 = store.chunks_skipped();
     std::vector<uint32_t> got;
     store.ForEachSpilledSetContaining(
-        v, 3000, nullptr, nullptr,
+        v, 3000, nullptr, {},
         [&](uint64_t r, std::span<const graph::NodeId>) {
           got.push_back(static_cast<uint32_t>(r));
         });
+    // Clustered chunks emit in chunk order, not globally ascending;
+    // the SET of emitted ids must still match exactly.
+    std::sort(got.begin(), got.end());
     EXPECT_EQ(got, expected[v]) << "node " << v;
     ++scans;
     // Every spilled chunk overlaps [0, 3000): each scan considers all of
@@ -494,8 +497,8 @@ TEST(SpillFaultTest, EnospcOnSpillWriteDegradesToResidentCompletion) {
 // ------------------------------------------------ end-to-end bit identity
 
 // The acceptance gate: prefetch on/off (sync backend = off), io_uring vs
-// fallback, 1/2/8 threads — all bit-identical to the unbudgeted
-// single-thread reference.
+// fallback, O_DIRECT on vs off, 1/2/8 threads — all bit-identical to the
+// unbudgeted single-thread reference.
 TEST(SpillPrefetchTest, TiResultBitIdenticalAcrossBackendsAndThreads) {
   IoStateGuard guard;
   SpillFaultEndToEndFixture f;
@@ -512,27 +515,40 @@ TEST(SpillPrefetchTest, TiResultBitIdenticalAcrossBackendsAndThreads) {
   }
   options.rr_memory_budget_bytes = max_store_bytes / 2;
   options.spill_chunk_bytes = 16u << 10;  // several chunks to pipeline
+  // The fixture's spill is tiny; without this the direct_io dimension
+  // would be silently demoted to buffered by the size gate.
+  options.direct_io_min_bytes = 0;
 
   for (const AsyncIoBackend backend : Backends()) {
     SetAsyncIoBackendForTest(backend);
-    for (uint32_t threads : {1u, 2u, 8u}) {
-      SCOPED_TRACE(testing::Message()
-                   << BackendName(backend) << " " << threads << " threads");
-      options.num_threads = threads;
-      auto budgeted = RunTiGreedy(*f.instance, options);
-      ASSERT_TRUE(budgeted.ok()) << budgeted.status().message();
-      const TiResult& r = budgeted.value();
-      EXPECT_EQ(reference.allocation.seed_sets, r.allocation.seed_sets);
-      EXPECT_EQ(reference.total_revenue, r.total_revenue);  // bitwise
-      EXPECT_EQ(reference.total_seeding_cost, r.total_seeding_cost);
-      EXPECT_EQ(reference.total_seeds, r.total_seeds);
-      EXPECT_EQ(reference.total_theta, r.total_theta);
-      EXPECT_EQ(reference.total_growth_events, r.total_growth_events);
-      // The run must exercise the pipeline for the comparison to mean
-      // anything: chunks were read, and the budget genuinely bit.
-      EXPECT_GT(r.total_spilled_bytes, 0u);
-      EXPECT_GT(r.total_scan_reloads, 0u);
-      EXPECT_GT(r.total_chunks_read, 0u);
+    for (const bool direct_io : {true, false}) {
+      options.direct_io = direct_io;
+      for (uint32_t threads : {1u, 2u, 8u}) {
+        SCOPED_TRACE(testing::Message()
+                     << BackendName(backend) << " "
+                     << (direct_io ? "O_DIRECT" : "buffered") << " "
+                     << threads << " threads");
+        options.num_threads = threads;
+        auto budgeted = RunTiGreedy(*f.instance, options);
+        ASSERT_TRUE(budgeted.ok()) << budgeted.status().message();
+        const TiResult& r = budgeted.value();
+        EXPECT_EQ(reference.allocation.seed_sets, r.allocation.seed_sets);
+        EXPECT_EQ(reference.total_revenue, r.total_revenue);  // bitwise
+        EXPECT_EQ(reference.total_seeding_cost, r.total_seeding_cost);
+        EXPECT_EQ(reference.total_seeds, r.total_seeds);
+        EXPECT_EQ(reference.total_theta, r.total_theta);
+        EXPECT_EQ(reference.total_growth_events, r.total_growth_events);
+        // The run must exercise the pipeline for the comparison to mean
+        // anything: chunks were read, and the budget genuinely bit.
+        EXPECT_GT(r.total_spilled_bytes, 0u);
+        EXPECT_GT(r.total_scan_reloads, 0u);
+        EXPECT_GT(r.total_chunks_read, 0u);
+        // direct_io=false must actually turn the probe off (the on case
+        // is filesystem-dependent, so only the off direction is asserted).
+        if (!direct_io) {
+          EXPECT_EQ(r.stores_direct_io, 0u);
+        }
+      }
     }
   }
 }

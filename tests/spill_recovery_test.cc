@@ -120,10 +120,13 @@ struct SpilledStoreFixture {
   std::vector<uint32_t> Scan(graph::NodeId v) const {
     std::vector<uint32_t> got;
     store.ForEachSpilledSetContaining(
-        v, kSets, nullptr, nullptr,
+        v, kSets, nullptr, {},
         [&](uint64_t r, std::span<const graph::NodeId>) {
           got.push_back(static_cast<uint32_t>(r));
         });
+    // Clustered chunks emit in chunk order, not globally ascending;
+    // sort to compare the SET of ids against the ascending ground truth.
+    std::sort(got.begin(), got.end());
     return got;
   }
 };

@@ -129,11 +129,10 @@ struct SpilledStoreCase {
 // Collects ForEachSpilledSetContaining(v) into (id, members) pairs.
 std::vector<std::pair<uint64_t, std::vector<graph::NodeId>>> SpilledHits(
     const RrStore& store, graph::NodeId v, uint64_t max_id,
-    ThreadPool* pool = nullptr,
-    const std::function<bool(uint64_t)>& candidate = nullptr) {
+    ThreadPool* pool = nullptr, std::span<const uint8_t> alive = {}) {
   std::vector<std::pair<uint64_t, std::vector<graph::NodeId>>> out;
   store.ForEachSpilledSetContaining(
-      v, max_id, pool, candidate,
+      v, max_id, pool, alive,
       [&](uint64_t r, std::span<const graph::NodeId> m) {
         out.emplace_back(r, std::vector<graph::NodeId>(m.begin(), m.end()));
       });
@@ -223,10 +222,10 @@ TEST(SpillStoreTest, ParallelScanMatchesSerial) {
   }
 }
 
-// The candidate predicate must drop sets before the membership scan (the
-// RemoveCoveredBy alive filter rides on it, so covered sets cost nothing);
+// The alive filter must drop sets before the membership scan (the
+// RemoveCoveredBy alive flags ride on it, so covered sets cost nothing);
 // serial and pooled paths must agree on the filtered view.
-TEST(SpillStoreTest, CandidatePredicateFiltersBeforeEmit) {
+TEST(SpillStoreTest, AliveFilterDropsBeforeEmit) {
   const Graph g = MakeBaGraph(200, 3);
   SpilledStoreCase c(g, 1500);
   SpillOptions so;
@@ -234,7 +233,8 @@ TEST(SpillStoreTest, CandidatePredicateFiltersBeforeEmit) {
   c.store.SpillPrefix(1500, so);
 
   ThreadPool pool(4);
-  auto even_only = [](uint64_t r) { return r % 2 == 0; };
+  std::vector<uint8_t> even_only(1500);
+  for (size_t r = 0; r < even_only.size(); ++r) even_only[r] = r % 2 == 0;
   for (graph::NodeId v = 0; v < c.store.num_nodes(); v += 11) {
     std::vector<uint32_t> expected;
     for (uint32_t r : c.sets_containing[v]) {
