@@ -24,6 +24,15 @@ std::vector<std::string_view> Split(std::string_view text, char sep,
   return parts;
 }
 
+std::string_view TrimLeft(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  return text.substr(begin);
+}
+
 std::string_view Trim(std::string_view text) {
   size_t begin = 0;
   while (begin < text.size() &&

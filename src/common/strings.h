@@ -19,6 +19,9 @@ std::vector<std::string_view> Split(std::string_view text, char sep,
 /// Removes leading/trailing ASCII whitespace.
 std::string_view Trim(std::string_view text);
 
+/// Removes leading ASCII whitespace only.
+std::string_view TrimLeft(std::string_view text);
+
 /// Parses a base-10 signed integer; rejects trailing garbage.
 Result<int64_t> ParseInt(std::string_view text);
 

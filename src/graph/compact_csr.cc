@@ -1,0 +1,201 @@
+#include "graph/compact_csr.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace isa::graph {
+
+namespace {
+
+// LEB128-style varint. Values are node/edge ids or gaps, so 5 bytes max in
+// practice; the encoder handles the full 64-bit range anyway.
+inline void AppendVarint(std::vector<uint8_t>* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+inline uint64_t ReadVarint(const uint8_t** p) {
+  uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    const uint8_t byte = **p;
+    ++*p;
+    value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+// Creates an unlinked temp file in `dir` holding `bytes` and returns a
+// read-only mapping of it. The fd is closed after mmap (the mapping keeps
+// the unlinked inode alive), so no name and no descriptor outlive Build.
+Result<std::pair<uint8_t*, uint64_t>> MapPayload(
+    const std::string& dir, const std::vector<uint8_t>& bytes) {
+  std::string base = dir;
+  if (base.empty()) {
+    std::error_code ec;
+    auto tmp = std::filesystem::temp_directory_path(ec);
+    base = ec ? "/tmp" : tmp.string();
+  }
+  std::string path_template = base + "/isa-csr-XXXXXX";
+  std::vector<char> path(path_template.begin(), path_template.end());
+  path.push_back('\0');
+  const int fd = ::mkstemp(path.data());
+  if (fd < 0) {
+    return Status::IOError(StrFormat("CompactCsr: mkstemp(%s): %s",
+                                     path_template.c_str(),
+                                     std::strerror(errno)));
+  }
+  ::unlink(path.data());
+  // Empty payloads (an all-isolated-nodes range) cannot be mapped; callers
+  // treat a null base as "resident mode" and the empty heap buffer serves.
+  if (bytes.empty()) {
+    ::close(fd);
+    return std::make_pair(static_cast<uint8_t*>(nullptr), uint64_t{0});
+  }
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t w =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return Status::IOError(StrFormat("CompactCsr: write backing file: %s",
+                                       std::strerror(err)));
+    }
+    written += static_cast<size_t>(w);
+  }
+  void* base_addr =
+      ::mmap(nullptr, bytes.size(), PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (base_addr == MAP_FAILED) {
+    return Status::IOError(StrFormat("CompactCsr: mmap %zu bytes: %s",
+                                     bytes.size(), std::strerror(errno)));
+  }
+  return std::make_pair(static_cast<uint8_t*>(base_addr),
+                        static_cast<uint64_t>(bytes.size()));
+}
+
+}  // namespace
+
+CompactCsr::~CompactCsr() { ReleaseMapping(); }
+
+CompactCsr::CompactCsr(CompactCsr&& other) noexcept { *this = std::move(other); }
+
+CompactCsr& CompactCsr::operator=(CompactCsr&& other) noexcept {
+  if (this == &other) return *this;
+  ReleaseMapping();
+  node_begin_ = other.node_begin_;
+  node_end_ = other.node_end_;
+  num_arcs_ = other.num_arcs_;
+  payload_size_ = other.payload_size_;
+  offsets_ = std::move(other.offsets_);
+  heap_payload_ = std::move(other.heap_payload_);
+  mmap_base_ = std::exchange(other.mmap_base_, nullptr);
+  mmap_size_ = std::exchange(other.mmap_size_, 0);
+  return *this;
+}
+
+void CompactCsr::ReleaseMapping() noexcept {
+  if (mmap_base_ != nullptr) {
+    ::munmap(mmap_base_, mmap_size_);
+    mmap_base_ = nullptr;
+    mmap_size_ = 0;
+  }
+}
+
+Result<CompactCsr> CompactCsr::BuildTranspose(const Graph& g, NodeId node_begin,
+                                              NodeId node_end,
+                                              const CompactCsrOptions& options) {
+  if (node_begin > node_end || node_end > g.num_nodes()) {
+    return Status::InvalidArgument(
+        StrFormat("CompactCsr: range [%u, %u) out of bounds for %u nodes",
+                  node_begin, node_end, g.num_nodes()));
+  }
+  CompactCsr csr;
+  csr.node_begin_ = node_begin;
+  csr.node_end_ = node_end;
+  csr.offsets_.reserve(static_cast<size_t>(node_end - node_begin) + 1);
+
+  std::vector<uint8_t> payload;
+  for (NodeId v = node_begin; v < node_end; ++v) {
+    csr.offsets_.push_back(payload.size());
+    const auto sources = g.InNeighbors(v);
+    const auto eids = g.InEdgeIds(v);
+    AppendVarint(&payload, sources.size());
+    csr.num_arcs_ += sources.size();
+    NodeId prev_src = 0;
+    for (size_t k = 0; k < sources.size(); ++k) {
+      AppendVarint(&payload, k == 0 ? sources[k] : sources[k] - prev_src);
+      prev_src = sources[k];
+    }
+    EdgeId prev_eid = 0;
+    for (size_t k = 0; k < eids.size(); ++k) {
+      AppendVarint(&payload, k == 0 ? eids[k] : eids[k] - prev_eid);
+      prev_eid = eids[k];
+    }
+  }
+  csr.offsets_.push_back(payload.size());
+  csr.payload_size_ = payload.size();
+
+  if (options.use_mmap) {
+    auto mapped = MapPayload(options.mmap_directory, payload);
+    if (!mapped.ok()) return mapped.status();
+    csr.mmap_base_ = mapped.value().first;
+    csr.mmap_size_ = mapped.value().second;
+    if (csr.mmap_base_ == nullptr) {
+      // Empty payload: nothing to map, resident mode over an empty buffer.
+      csr.heap_payload_ = std::move(payload);
+    }
+  } else {
+    csr.heap_payload_ = std::move(payload);
+    csr.heap_payload_.shrink_to_fit();
+  }
+  return csr;
+}
+
+uint32_t CompactCsr::InDegree(NodeId v) const {
+  ISA_CHECK(Covers(v));
+  const uint8_t* p = payload() + offsets_[v - node_begin_];
+  return static_cast<uint32_t>(ReadVarint(&p));
+}
+
+void CompactCsr::DecodeInArcs(NodeId v, std::vector<NodeId>* sources,
+                              std::vector<EdgeId>* edge_ids) const {
+  ISA_CHECK(Covers(v));
+  sources->clear();
+  edge_ids->clear();
+  const uint8_t* p = payload() + offsets_[v - node_begin_];
+  const uint64_t degree = ReadVarint(&p);
+  sources->reserve(degree);
+  edge_ids->reserve(degree);
+  NodeId src = 0;
+  for (uint64_t k = 0; k < degree; ++k) {
+    src = (k == 0 ? 0 : src) + static_cast<NodeId>(ReadVarint(&p));
+    sources->push_back(src);
+  }
+  EdgeId eid = 0;
+  for (uint64_t k = 0; k < degree; ++k) {
+    eid = (k == 0 ? 0 : eid) + static_cast<EdgeId>(ReadVarint(&p));
+    edge_ids->push_back(eid);
+  }
+}
+
+uint64_t CompactCsr::MemoryBytes() const {
+  return offsets_.capacity() * sizeof(uint64_t) + heap_payload_.capacity();
+}
+
+}  // namespace isa::graph

@@ -1,0 +1,120 @@
+// CompactCsr — a compressed, optionally file-backed store for the transpose
+// adjacency (in-neighbors + forward EdgeIds) of a node range.
+//
+// The plain Graph keeps the transpose as three uint32 arrays (in_offsets,
+// in_sources, in_edge_ids): 12 bytes per arc resident. At LiveJournal scale
+// (69M arcs) that is ~0.8 GB for the transpose alone, ON TOP of the forward
+// CSR — loading such an input costs roughly 2x the edge list in RAM before
+// any RR set is sampled. CompactCsr replaces the per-arc arrays with a
+// varint-delta byte stream:
+//
+//   per node v (ascending within the covered range):
+//     varint(in_degree(v))
+//     varint(first_source), varint(gap), ...      sources ascend strictly
+//     varint(first_edge_id), varint(gap), ...     forward ids ascend strictly
+//
+// Both columns are strictly increasing for a fixed v — in-neighbors are
+// sorted by source id, and the forward EdgeId of arc (u, v) is the arc's
+// position in the (src, dst)-sorted forward order, so it grows with u —
+// which makes delta-varint coding effective (typically 1-2 bytes per arc
+// instead of 8). A uint64 offset per covered node locates each record.
+//
+// Decoding reproduces the Graph's in-arc enumeration ORDER AND CONTENT
+// bit-exactly; the RR samplers consume their Rng stream per examined arc,
+// so a reverse BFS over CompactCsr draws the exact sets a Graph-backed BFS
+// draws (ctest-enforced round-trip over every generator family).
+//
+// mmap mode (`CompactCsrOptions::use_mmap`): the payload is written to an
+// unlinked temp file and mapped read-only, so the encoded bytes live in the
+// page cache instead of the heap — MemoryBytes() then reports only the
+// resident offsets, MappedBytes() the file-backed payload. This is the
+// "load LiveJournal without 2x resident blowup" mode; content and decode
+// order are identical to the resident mode.
+
+#ifndef ISA_GRAPH_COMPACT_CSR_H_
+#define ISA_GRAPH_COMPACT_CSR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace isa::graph {
+
+struct CompactCsrOptions {
+  /// Back the encoded payload with an unlinked, memory-mapped temp file
+  /// instead of a heap buffer. Decode results are identical; only the
+  /// resident/mapped accounting split changes.
+  bool use_mmap = false;
+  /// Directory for the backing file (empty = the system temp directory).
+  /// Only read when use_mmap is set.
+  std::string mmap_directory;
+};
+
+/// Immutable compressed transpose adjacency for global nodes
+/// [node_begin, node_end). Thread-safe for concurrent decodes (all state
+/// is read-only after Build).
+class CompactCsr {
+ public:
+  CompactCsr() = default;
+  ~CompactCsr();
+  CompactCsr(CompactCsr&& other) noexcept;
+  CompactCsr& operator=(CompactCsr&& other) noexcept;
+  CompactCsr(const CompactCsr&) = delete;
+  CompactCsr& operator=(const CompactCsr&) = delete;
+
+  /// Encodes the in-adjacency of `g` restricted to nodes
+  /// [node_begin, node_end). Fails if the range is out of bounds or the
+  /// mmap backing file cannot be created/mapped.
+  static Result<CompactCsr> BuildTranspose(const Graph& g, NodeId node_begin,
+                                           NodeId node_end,
+                                           const CompactCsrOptions& options = {});
+
+  NodeId node_begin() const { return node_begin_; }
+  NodeId node_end() const { return node_end_; }
+  bool Covers(NodeId v) const { return v >= node_begin_ && v < node_end_; }
+  uint64_t num_arcs() const { return num_arcs_; }
+
+  uint32_t InDegree(NodeId v) const;
+
+  /// Decodes the in-arcs of global node v (must be covered) into the two
+  /// parallel output vectors, cleared first: ascending sources and their
+  /// forward EdgeIds — exactly Graph::InNeighbors(v) / Graph::InEdgeIds(v).
+  void DecodeInArcs(NodeId v, std::vector<NodeId>* sources,
+                    std::vector<EdgeId>* edge_ids) const;
+
+  /// Heap-resident bytes: the offset table plus, in resident mode, the
+  /// payload. The mmap-backed payload is deliberately excluded — those
+  /// bytes are file-backed and reclaimable, the same accounting rule the
+  /// spill tier uses (see common/memory_meter.h).
+  uint64_t MemoryBytes() const;
+  /// File-backed payload bytes (0 in resident mode).
+  uint64_t MappedBytes() const { return mmap_size_; }
+  /// Encoded payload size in bytes, whichever mode backs it.
+  uint64_t EncodedBytes() const { return payload_size_; }
+  bool mmap_backed() const { return mmap_base_ != nullptr; }
+
+ private:
+  const uint8_t* payload() const {
+    return mmap_base_ != nullptr ? mmap_base_ : heap_payload_.data();
+  }
+  void ReleaseMapping() noexcept;
+
+  NodeId node_begin_ = 0;
+  NodeId node_end_ = 0;
+  uint64_t num_arcs_ = 0;
+  uint64_t payload_size_ = 0;
+  // Byte offset of each covered node's record (node_end - node_begin + 1).
+  std::vector<uint64_t> offsets_;
+  // Resident mode: the encoded payload on the heap.
+  std::vector<uint8_t> heap_payload_;
+  // mmap mode: read-only mapping of the unlinked backing file.
+  uint8_t* mmap_base_ = nullptr;
+  uint64_t mmap_size_ = 0;
+};
+
+}  // namespace isa::graph
+
+#endif  // ISA_GRAPH_COMPACT_CSR_H_

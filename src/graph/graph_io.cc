@@ -13,7 +13,28 @@ namespace {
 constexpr uint32_t kBinaryMagic = 0x49534147;  // "ISAG"
 }  // namespace
 
-Result<Graph> LoadEdgeListText(const std::string& path) {
+namespace {
+
+// Strict unsigned-decimal token parse. istream >> uint64_t would accept
+// "-1" by two's-complement wrap and stop quietly at the first non-digit;
+// here any sign, non-digit or overflow rejects the whole token.
+bool ParseNodeToken(std::string_view token, uint64_t* out) {
+  if (token.empty()) return false;
+  uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+Result<Graph> LoadEdgeListText(const std::string& path,
+                               EdgeListLoadStats* stats) {
   std::ifstream f(path);
   if (!f) return Status::IOError("cannot open: " + path);
 
@@ -26,19 +47,45 @@ Result<Graph> LoadEdgeListText(const std::string& path) {
     return it->second;
   };
 
+  EdgeListLoadStats local_stats;
+  EdgeListLoadStats& st = stats != nullptr ? *stats : local_stats;
+  st = EdgeListLoadStats{};
   std::string line;
   size_t lineno = 0;
+  auto malformed = [&](const char* why) {
+    return Status::InvalidArgument(StrFormat(
+        "%s:%zu: %s (expected 'src dst' with non-negative integer ids)",
+        path.c_str(), lineno, why));
+  };
   while (std::getline(f, line)) {
     ++lineno;
+    ++st.lines;
     std::string_view sv = Trim(line);
-    if (sv.empty() || sv[0] == '#') continue;
-    std::istringstream ss{std::string(sv)};
-    uint64_t a, b;
-    if (!(ss >> a >> b)) {
-      return Status::InvalidArgument(
-          StrFormat("%s:%zu: expected 'src dst'", path.c_str(), lineno));
+    // '#' is the SNAP comment convention, '%' the KONECT one; blank lines
+    // count as comments too (headers often end with one).
+    if (sv.empty() || sv[0] == '#' || sv[0] == '%') {
+      ++st.comment_lines;
+      continue;
     }
-    edges.push_back(Edge{intern(a), intern(b)});
+    std::string_view rest = sv;
+    uint64_t ids[2];
+    for (int k = 0; k < 2; ++k) {
+      const size_t cut = rest.find_first_of(" \t");
+      const std::string_view token = rest.substr(0, cut);
+      rest = cut == std::string_view::npos
+                 ? std::string_view{}
+                 : TrimLeft(rest.substr(cut));
+      if (token.empty()) return malformed("missing field");
+      if (token[0] == '-' || token[0] == '+') {
+        return malformed("signed node id");
+      }
+      if (!ParseNodeToken(token, &ids[k])) {
+        return malformed("non-numeric node id");
+      }
+    }
+    if (!rest.empty()) return malformed("trailing data after 'src dst'");
+    ++st.edge_lines;
+    edges.push_back(Edge{intern(ids[0]), intern(ids[1])});
   }
   return Graph::FromEdges(static_cast<NodeId>(remap.size()),
                           std::move(edges));

@@ -11,10 +11,26 @@
 
 namespace isa::graph {
 
-/// Loads a SNAP-style text edge list: one "src dst" pair per line,
-/// lines starting with '#' ignored. Node ids need not be contiguous; they
-/// are compacted to [0, n) preserving first-appearance order.
-Result<Graph> LoadEdgeListText(const std::string& path);
+/// Text-loader diagnostics (see LoadEdgeListText).
+struct EdgeListLoadStats {
+  size_t lines = 0;          // lines read, including comments/blank
+  size_t comment_lines = 0;  // '#'/'%' lines (and blank lines) skipped
+  size_t edge_lines = 0;     // lines that contributed an edge
+};
+
+/// Loads a SNAP-style text edge list: one "src dst" pair per line.
+/// Tolerated without error: '#' and '%' comment lines (KONECT files use
+/// '%'), blank lines, leading/trailing whitespace, and duplicate edges
+/// (collapsed by Graph::FromEdges and counted in dropped_duplicates()).
+/// Rejected with a Status naming the file and 1-based line number:
+/// non-numeric tokens, negative ids, missing fields, and trailing garbage
+/// after the two ids ("1 2 3" is a malformed line, not an edge plus
+/// noise — silently dropping a third field hides weighted-graph inputs).
+/// Node ids need not be contiguous; they are compacted to [0, n)
+/// preserving first-appearance order. `stats`, when non-null, receives
+/// line-level counts even on failure (up to the offending line).
+Result<Graph> LoadEdgeListText(const std::string& path,
+                               EdgeListLoadStats* stats = nullptr);
 
 /// Writes "src dst" per line with a header comment.
 Status SaveEdgeListText(const Graph& g, const std::string& path);

@@ -1,0 +1,122 @@
+#include "graph/partitioned_graph.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace isa::graph {
+
+Result<PartitionPolicy> ParsePartitionPolicy(const std::string& name) {
+  if (name == "node-range") return PartitionPolicy::kNodeRange;
+  if (name == "edge-cut") return PartitionPolicy::kEdgeCut;
+  return Status::InvalidArgument(
+      "unknown partition policy: " + name +
+      " (expected node-range or edge-cut)");
+}
+
+const char* PartitionPolicyName(PartitionPolicy policy) {
+  return policy == PartitionPolicy::kNodeRange ? "node-range" : "edge-cut";
+}
+
+namespace {
+
+// Cut points for P partitions over n nodes / m in-arcs. Returns P+1
+// ascending values with front() == 0 and back() == n. Pure function of
+// (g, P, policy) — no randomness, no wall-clock.
+std::vector<NodeId> ComputeCutPoints(const Graph& g, uint32_t partitions,
+                                     PartitionPolicy policy) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> cuts(partitions + 1, 0);
+  cuts[partitions] = n;
+  if (policy == PartitionPolicy::kNodeRange) {
+    for (uint32_t p = 1; p < partitions; ++p) {
+      cuts[p] = static_cast<NodeId>(
+          static_cast<uint64_t>(p) * n / partitions);
+    }
+    return cuts;
+  }
+  // kEdgeCut: walk nodes once, cutting whenever the running in-arc count
+  // passes the next p*m/P threshold. A partition is never left behind its
+  // cut index (cuts stay monotone even on pathological degree skew).
+  const uint64_t m = g.num_edges();
+  uint64_t running = 0;
+  uint32_t next_cut = 1;
+  for (NodeId v = 0; v < n && next_cut < partitions; ++v) {
+    running += g.InDegree(v);
+    while (next_cut < partitions &&
+           running >= next_cut * m / partitions) {
+      cuts[next_cut++] = v + 1;
+    }
+  }
+  // Any cuts not reached (m == 0, or all arcs concentrated early) close at
+  // n, producing trailing empty partitions — the documented degradation.
+  for (uint32_t p = next_cut; p < partitions; ++p) cuts[p] = n;
+  // Monotonicity guard: a threshold crossed before an earlier one would
+  // invert ranges; the while-loop above assigns in order, so enforce only
+  // the invariant shape.
+  for (uint32_t p = 1; p <= partitions; ++p) {
+    cuts[p] = std::max(cuts[p], cuts[p - 1]);
+  }
+  return cuts;
+}
+
+}  // namespace
+
+Result<PartitionedGraph> PartitionedGraph::Build(
+    const Graph& g, const PartitionOptions& options) {
+  if (options.num_partitions == 0) {
+    return Status::InvalidArgument(
+        "PartitionedGraph: num_partitions must be >= 1");
+  }
+  PartitionedGraph pg;
+  pg.base_ = &g;
+  pg.policy_ = options.policy;
+  pg.mmap_backed_ = options.use_mmap;
+  pg.cut_points_ =
+      ComputeCutPoints(g, options.num_partitions, options.policy);
+
+  CompactCsrOptions csr_options;
+  csr_options.use_mmap = options.use_mmap;
+  csr_options.mmap_directory = options.mmap_directory;
+  pg.infos_.reserve(options.num_partitions);
+  pg.csrs_.reserve(options.num_partitions);
+  for (uint32_t p = 0; p < options.num_partitions; ++p) {
+    PartitionInfo info;
+    info.node_begin = pg.cut_points_[p];
+    info.node_end = pg.cut_points_[p + 1];
+    auto csr =
+        CompactCsr::BuildTranspose(g, info.node_begin, info.node_end,
+                                   csr_options);
+    if (!csr.ok()) return csr.status();
+    info.num_in_arcs = csr.value().num_arcs();
+    for (NodeId v = info.node_begin; v < info.node_end; ++v) {
+      info.max_in_degree = std::max(info.max_in_degree, g.InDegree(v));
+    }
+    pg.infos_.push_back(info);
+    pg.csrs_.push_back(std::move(csr).value());
+  }
+  return pg;
+}
+
+uint32_t PartitionedGraph::PartitionOf(NodeId v) const {
+  // First cut strictly greater than v, minus one. Empty partitions have
+  // zero-width ranges and are never returned for a valid v.
+  auto it =
+      std::upper_bound(cut_points_.begin() + 1, cut_points_.end(), v);
+  return static_cast<uint32_t>((it - cut_points_.begin()) - 1);
+}
+
+uint64_t PartitionedGraph::MemoryBytes() const {
+  uint64_t bytes = cut_points_.capacity() * sizeof(NodeId) +
+                   infos_.capacity() * sizeof(PartitionInfo);
+  for (const CompactCsr& csr : csrs_) bytes += csr.MemoryBytes();
+  return bytes;
+}
+
+uint64_t PartitionedGraph::MappedBytes() const {
+  uint64_t bytes = 0;
+  for (const CompactCsr& csr : csrs_) bytes += csr.MappedBytes();
+  return bytes;
+}
+
+}  // namespace isa::graph

@@ -1,0 +1,132 @@
+// PartitionedGraph — an explicit graph-partition layer over one Graph.
+//
+// The sampler stack historically sharded threads over a single monolithic
+// in-memory Graph; making partitions a first-class object turns NUMA-,
+// process- and (later) machine-level placement into a policy choice
+// instead of a rewrite. A PartitionedGraph splits the node set into
+// `num_partitions` contiguous global-id ranges and stores each range's
+// TRANSPOSE adjacency in its own CompactCsr (the RR samplers only read
+// in-arcs), together with a per-partition envelope (node range, arc count,
+// max in-degree) — the same partition-and-envelope metadata idiom the
+// spill chunk footers use on disk.
+//
+// Partition policies (both deterministic pure functions of the graph):
+//   kNodeRange — equal NODE counts per partition: partition p covers
+//     [floor(p*n/P), floor((p+1)*n/P)). Simple and id-predictable.
+//   kEdgeCut — equal IN-ARC counts per partition: cut points chosen so
+//     each partition holds ~m/P in-arcs. Balances reverse-BFS work (and
+//     CompactCsr bytes) when degree is skewed — on a hub-first BA graph a
+//     node-range split gives partition 0 nearly all arcs.
+//
+// Id-map discipline: global ids remain THE identity everywhere (RR-set
+// members, coverage counts, allocations are all global). Each partition's
+// local id is `global - node_begin`; GlobalToLocal/LocalToGlobal are the
+// stable maps, and PartitionOf is a branchless upper_bound over the cut
+// points. Nothing downstream renumbers nodes — which is precisely why a
+// fixed seed yields bit-identical results at ANY partition count.
+//
+// Empty partitions are legal (num_partitions > num_nodes leaves the tail
+// partitions with node_begin == node_end); every query degrades cleanly.
+
+#ifndef ISA_GRAPH_PARTITIONED_GRAPH_H_
+#define ISA_GRAPH_PARTITIONED_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/memory_meter.h"
+#include "common/status.h"
+#include "graph/compact_csr.h"
+#include "graph/graph.h"
+
+namespace isa::graph {
+
+enum class PartitionPolicy {
+  kNodeRange,  // equal node counts per partition
+  kEdgeCut,    // equal in-arc counts per partition
+};
+
+/// Parses "node-range" / "edge-cut" (the CLI spelling).
+Result<PartitionPolicy> ParsePartitionPolicy(const std::string& name);
+const char* PartitionPolicyName(PartitionPolicy policy);
+
+struct PartitionOptions {
+  uint32_t num_partitions = 1;
+  PartitionPolicy policy = PartitionPolicy::kNodeRange;
+  /// Back each partition's CompactCsr payload with a memory-mapped temp
+  /// file (see CompactCsrOptions::use_mmap).
+  bool use_mmap = false;
+  /// Directory for mmap backing files (empty = system temp directory).
+  std::string mmap_directory;
+};
+
+/// Per-partition envelope metadata.
+struct PartitionInfo {
+  NodeId node_begin = 0;  // inclusive global id
+  NodeId node_end = 0;    // exclusive global id
+  uint64_t num_in_arcs = 0;
+  uint32_t max_in_degree = 0;
+
+  NodeId num_nodes() const { return node_end - node_begin; }
+  bool empty() const { return node_begin == node_end; }
+};
+
+class PartitionedGraph {
+ public:
+  /// Builds the partition layer. `num_partitions` must be >= 1; counts
+  /// beyond num_nodes produce trailing empty partitions (legal).
+  static Result<PartitionedGraph> Build(const Graph& g,
+                                        const PartitionOptions& options = {});
+
+  const Graph& base() const { return *base_; }
+  uint32_t num_partitions() const {
+    return static_cast<uint32_t>(infos_.size());
+  }
+  PartitionPolicy policy() const { return policy_; }
+  bool mmap_backed() const { return mmap_backed_; }
+
+  const PartitionInfo& info(uint32_t p) const { return infos_[p]; }
+  const CompactCsr& csr(uint32_t p) const { return csrs_[p]; }
+
+  /// Owning partition of global node v (O(log P)).
+  uint32_t PartitionOf(NodeId v) const;
+
+  /// Stable global<->local id maps. Local ids are dense in
+  /// [0, info(p).num_nodes()) and preserve global order within p.
+  NodeId GlobalToLocal(NodeId v) const {
+    return v - infos_[PartitionOf(v)].node_begin;
+  }
+  NodeId LocalToGlobal(uint32_t p, NodeId local) const {
+    return infos_[p].node_begin + local;
+  }
+
+  /// Resident heap bytes of the layer: every CompactCsr's resident share
+  /// plus the envelope/cut-point metadata.
+  uint64_t MemoryBytes() const;
+  /// File-backed (mmap) payload bytes across partitions; 0 unless
+  /// PartitionOptions::use_mmap.
+  uint64_t MappedBytes() const;
+
+  /// Charges this layer into `meter` with the resident/non-resident split
+  /// the spill tier established: resident bytes feed the peak, mapped
+  /// bytes are reported as reclaimable (spilled) — so resident-peak gates
+  /// stay honest when the partition layer is in play.
+  void AccountInto(MemoryMeter& meter) const {
+    meter.Add(MemoryBytes());
+    meter.SetSpilled(meter.spilled_bytes() + MappedBytes());
+  }
+
+ private:
+  const Graph* base_ = nullptr;
+  PartitionPolicy policy_ = PartitionPolicy::kNodeRange;
+  bool mmap_backed_ = false;
+  std::vector<PartitionInfo> infos_;
+  std::vector<CompactCsr> csrs_;
+  // cut_points_[p] = info(p).node_begin, plus a final num_nodes sentinel.
+  std::vector<NodeId> cut_points_;
+};
+
+}  // namespace isa::graph
+
+#endif  // ISA_GRAPH_PARTITIONED_GRAPH_H_

@@ -1,0 +1,65 @@
+#include "rrset/partition_rr_sampler.h"
+
+namespace isa::rrset {
+
+PartitionRrSampler::PartitionRrSampler(const graph::PartitionedGraph& pg,
+                                       std::span<const double> probs,
+                                       DiffusionModel model,
+                                       uint32_t home_partition)
+    : pg_(pg),
+      probs_(probs),
+      model_(model),
+      home_(home_partition),
+      visited_epoch_(pg.base().num_nodes(), 0) {}
+
+graph::NodeId PartitionRrSampler::SampleInto(
+    Rng& rng, std::vector<graph::NodeId>* out) {
+  out->clear();
+  ++epoch_;
+  last_width_ = 0;
+  const graph::NodeId root = static_cast<graph::NodeId>(
+      rng.NextBounded(pg_.base().num_nodes()));
+  visited_epoch_[root] = epoch_;
+  out->push_back(root);
+  // Reverse BFS over live in-arcs, exactly RrSampler's walk: only the
+  // adjacency lookup is routed through the owning partition's CompactCsr.
+  for (size_t head = 0; head < out->size(); ++head) {
+    const graph::NodeId v = (*out)[head];
+    const uint32_t owner = pg_.PartitionOf(v);
+    if (owner == home_) {
+      ++local_expansions_;
+    } else {
+      ++frontier_crossings_;
+    }
+    pg_.csr(owner).DecodeInArcs(v, &sources_, &eids_);
+    last_width_ += sources_.size();
+    if (model_ == DiffusionModel::kIndependentCascade) {
+      for (size_t k = 0; k < sources_.size(); ++k) {
+        const graph::NodeId u = sources_[k];
+        if (visited_epoch_[u] == epoch_) continue;
+        if (rng.NextBernoulli(probs_[eids_[k]])) {
+          visited_epoch_[u] = epoch_;
+          out->push_back(u);
+        }
+      }
+    } else {
+      if (sources_.empty()) continue;
+      const double r = rng.NextDouble();
+      double acc = 0.0;
+      for (size_t k = 0; k < sources_.size(); ++k) {
+        acc += probs_[eids_[k]];
+        if (r < acc) {
+          const graph::NodeId u = sources_[k];
+          if (visited_epoch_[u] != epoch_) {
+            visited_epoch_[u] = epoch_;
+            out->push_back(u);
+          }
+          break;
+        }
+      }
+    }
+  }
+  return root;
+}
+
+}  // namespace isa::rrset

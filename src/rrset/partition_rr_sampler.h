@@ -1,0 +1,73 @@
+// PartitionRrSampler — one partition's RR-set sampler instance.
+//
+// Mirrors RrSampler's lazy reverse BFS bit for bit, but reads the
+// transpose adjacency through a PartitionedGraph's per-partition
+// CompactCsr stores instead of the monolithic Graph arrays. The sampler
+// is pinned to a HOME partition: it draws the sets whose ROOT node the
+// home partition owns (ownership is decided by the dispatcher — see
+// parallel_sampler.h), and when the reverse BFS frontier leaves the home
+// partition it keeps going through the owning partition's store, counting
+// the excursion as a frontier crossing.
+//
+// Determinism contract: for the same Rng state, SampleInto produces
+// exactly the set (content, member order, width) RrSampler::SampleInto
+// produces on the base graph — CompactCsr decodes the in-arc enumeration
+// in the identical order, and the Rng is consumed per examined arc the
+// same way. This is what makes the partition count a pure policy knob:
+// fixed seed => bit-identical RR sets at ANY partition count. The
+// crossing/local counters are partition-LAYOUT-dependent diagnostics and
+// are deliberately excluded from that invariant.
+
+#ifndef ISA_RRSET_PARTITION_RR_SAMPLER_H_
+#define ISA_RRSET_PARTITION_RR_SAMPLER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/partitioned_graph.h"
+#include "rrset/rr_sampler.h"
+
+namespace isa::rrset {
+
+/// Samples RR sets for one (partitioned graph, arc-probability) pair from
+/// the viewpoint of one home partition. Not thread-safe; one instance per
+/// (partition, worker).
+class PartitionRrSampler {
+ public:
+  /// `probs` is indexed by forward EdgeId and must outlive the sampler.
+  PartitionRrSampler(const graph::PartitionedGraph& pg,
+                     std::span<const double> probs, DiffusionModel model,
+                     uint32_t home_partition);
+
+  /// Samples one RR set into `out` (cleared first); returns the root.
+  /// Bit-identical to RrSampler::SampleInto for the same Rng state.
+  graph::NodeId SampleInto(Rng& rng, std::vector<graph::NodeId>* out);
+
+  uint64_t last_width() const { return last_width_; }
+  uint32_t home_partition() const { return home_; }
+
+  /// Cumulative node expansions whose owner was / was not the home
+  /// partition (the partition-local hit rate's numerator/denominator).
+  uint64_t local_expansions() const { return local_expansions_; }
+  uint64_t frontier_crossings() const { return frontier_crossings_; }
+
+ private:
+  const graph::PartitionedGraph& pg_;
+  std::span<const double> probs_;
+  DiffusionModel model_;
+  uint32_t home_;
+  std::vector<uint32_t> visited_epoch_;
+  uint32_t epoch_ = 0;
+  uint64_t last_width_ = 0;
+  uint64_t local_expansions_ = 0;
+  uint64_t frontier_crossings_ = 0;
+  // Decode scratch, reused across visits.
+  std::vector<graph::NodeId> sources_;
+  std::vector<graph::EdgeId> eids_;
+};
+
+}  // namespace isa::rrset
+
+#endif  // ISA_RRSET_PARTITION_RR_SAMPLER_H_

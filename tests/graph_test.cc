@@ -118,7 +118,78 @@ TEST(GraphIoTest, TextRejectsMalformedLine) {
     std::fputs("1 2\nnot numbers\n", f);
     std::fclose(f);
   }
-  EXPECT_FALSE(LoadEdgeListText(path).ok());
+  auto result = LoadEdgeListText(path);
+  ASSERT_FALSE(result.ok());
+  // The error names the file and the 1-based offending line.
+  EXPECT_NE(result.status().message().find(":2:"), std::string::npos)
+      << result.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, TextToleratesCommentsWhitespaceAndDuplicates) {
+  const std::string path = ::testing::TempDir() + "/isa_g4.txt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    // '#' (SNAP) and '%' (KONECT) comments, blank lines, leading and
+    // trailing whitespace/tabs, and a duplicate edge.
+    std::fputs("% konect header\n# snap header\n\n  0 1  \n1\t2\n0 1\n", f);
+    std::fclose(f);
+  }
+  EdgeListLoadStats stats;
+  auto g = LoadEdgeListText(path, &stats);
+  ASSERT_TRUE(g.ok()) << g.status().message();
+  EXPECT_EQ(g.value().num_nodes(), 3u);
+  EXPECT_EQ(g.value().num_edges(), 2u);  // duplicate collapsed
+  EXPECT_EQ(g.value().dropped_duplicates(), 1u);
+  EXPECT_EQ(stats.lines, 6u);
+  EXPECT_EQ(stats.comment_lines, 3u);  // '%', '#', blank
+  EXPECT_EQ(stats.edge_lines, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, TextRejectsNegativeIdsWithLineNumber) {
+  const std::string path = ::testing::TempDir() + "/isa_g5.txt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    // istream >> uint64_t would accept -1 by wrapping to 2^64-1; the
+    // loader must reject it instead of inventing a huge node id.
+    std::fputs("0 1\n1 2\n-1 2\n", f);
+    std::fclose(f);
+  }
+  auto result = LoadEdgeListText(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find(":3:"), std::string::npos)
+      << result.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, TextRejectsTrailingGarbageWithLineNumber) {
+  const std::string path = ::testing::TempDir() + "/isa_g6.txt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    // A third column means a weighted/attributed format the loader does
+    // not understand — silently dropping it would misread the input.
+    std::fputs("0 1\n1 2 0.5\n", f);
+    std::fclose(f);
+  }
+  auto result = LoadEdgeListText(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find(":2:"), std::string::npos)
+      << result.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, TextRejectsMissingField) {
+  const std::string path = ::testing::TempDir() + "/isa_g7.txt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("0 1\n7\n", f);
+    std::fclose(f);
+  }
+  auto result = LoadEdgeListText(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find(":2:"), std::string::npos)
+      << result.status().message();
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,629 @@
+// Partition layer (graph/partitioned_graph.h + graph/compact_csr.h) and
+// per-partition RR sampling (rrset/partition_rr_sampler.h, the partitioned
+// dispatch path of rrset/parallel_sampler.h).
+//
+// The load-bearing invariant: a fixed seed yields a bit-identical TiResult
+// at ANY partition count — because RR-set content is a pure function of
+// (seed, set id) and partitions only decide WHERE a set is drawn. The e2e
+// sweep below enforces it across {1,2,8} partitions x {1,2,8} threads x
+// {sync, async growth} x {unbudgeted, 25% budget}, plus mmap-backed
+// partitions and shared-store ads.
+
+#include "graph/partitioned_graph.h"
+
+#include <numeric>
+#include <vector>
+
+#include "common/memory_meter.h"
+#include "common/rng.h"
+#include "core/ti_greedy.h"
+#include "graph/compact_csr.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "gtest/gtest.h"
+#include "rrset/parallel_sampler.h"
+#include "rrset/partition_rr_sampler.h"
+#include "rrset/rr_sampler.h"
+#include "rrset/rr_store.h"
+#include "tests/test_util.h"
+#include "topic/tic_model.h"
+
+namespace isa {
+namespace {
+
+using graph::CompactCsr;
+using graph::CompactCsrOptions;
+using graph::Graph;
+using graph::NodeId;
+using graph::PartitionedGraph;
+using graph::PartitionOptions;
+using graph::PartitionPolicy;
+
+std::vector<Graph> GeneratorFamilyGraphs() {
+  std::vector<Graph> graphs;
+  {
+    auto g = graph::GenerateBarabasiAlbert(
+        {.num_nodes = 300, .edges_per_node = 3, .seed = 9});
+    ISA_CHECK(g.ok());
+    graphs.push_back(std::move(g).value());
+  }
+  {
+    graph::RmatOptions opt;
+    opt.scale = 8;
+    opt.num_edges = 1500;
+    opt.seed = 11;
+    auto g = graph::GenerateRmat(opt);
+    ISA_CHECK(g.ok());
+    graphs.push_back(std::move(g).value());
+  }
+  {
+    auto g = graph::GenerateErdosRenyi(
+        {.num_nodes = 250, .num_edges = 1200, .seed = 13});
+    ISA_CHECK(g.ok());
+    graphs.push_back(std::move(g).value());
+  }
+  {
+    auto g = graph::GeneratePowerLaw(
+        {.num_nodes = 250, .num_edges = 1400, .seed = 17});
+    ISA_CHECK(g.ok());
+    graphs.push_back(std::move(g).value());
+  }
+  return graphs;
+}
+
+// Decoded in-arcs of every covered node must equal the Graph's transpose
+// enumeration bit for bit — order included (the samplers consume Rng per
+// examined arc, so order IS content).
+void ExpectCsrMatchesGraph(const CompactCsr& csr, const Graph& g) {
+  std::vector<NodeId> sources;
+  std::vector<graph::EdgeId> eids;
+  uint64_t arcs = 0;
+  for (NodeId v = csr.node_begin(); v < csr.node_end(); ++v) {
+    csr.DecodeInArcs(v, &sources, &eids);
+    auto want_src = g.InNeighbors(v);
+    auto want_eid = g.InEdgeIds(v);
+    ASSERT_EQ(sources.size(), want_src.size()) << "node " << v;
+    ASSERT_EQ(csr.InDegree(v), want_src.size()) << "node " << v;
+    for (size_t k = 0; k < sources.size(); ++k) {
+      ASSERT_EQ(sources[k], want_src[k]) << "node " << v << " arc " << k;
+      ASSERT_EQ(eids[k], want_eid[k]) << "node " << v << " arc " << k;
+    }
+    arcs += sources.size();
+  }
+  EXPECT_EQ(csr.num_arcs(), arcs);
+}
+
+TEST(CompactCsrTest, RoundTripsAllGeneratorFamilies) {
+  for (const Graph& g : GeneratorFamilyGraphs()) {
+    SCOPED_TRACE(testing::Message()
+                 << g.num_nodes() << " nodes, " << g.num_edges() << " arcs");
+    auto csr = CompactCsr::BuildTranspose(g, 0, g.num_nodes());
+    ASSERT_TRUE(csr.ok()) << csr.status().message();
+    ExpectCsrMatchesGraph(csr.value(), g);
+    EXPECT_EQ(csr.value().num_arcs(), g.num_edges());
+    EXPECT_GT(csr.value().EncodedBytes(), 0u);
+    // The whole point: the varint-delta stream beats the 12-byte-per-arc
+    // uint32 triple layout on every generator family.
+    EXPECT_LT(csr.value().EncodedBytes(), 12u * g.num_edges());
+  }
+}
+
+TEST(CompactCsrTest, PartialRangesCoverExactlyTheirNodes) {
+  const Graph g = GeneratorFamilyGraphs()[0];
+  const NodeId n = g.num_nodes();
+  auto csr = CompactCsr::BuildTranspose(g, n / 3, 2 * n / 3);
+  ASSERT_TRUE(csr.ok());
+  EXPECT_FALSE(csr.value().Covers(n / 3 - 1));
+  EXPECT_TRUE(csr.value().Covers(n / 3));
+  EXPECT_TRUE(csr.value().Covers(2 * n / 3 - 1));
+  EXPECT_FALSE(csr.value().Covers(2 * n / 3));
+  ExpectCsrMatchesGraph(csr.value(), g);
+}
+
+TEST(CompactCsrTest, MmapModeDecodesIdenticallyAndSplitsAccounting) {
+  const Graph g = GeneratorFamilyGraphs()[0];
+  auto resident = CompactCsr::BuildTranspose(g, 0, g.num_nodes());
+  ASSERT_TRUE(resident.ok());
+  CompactCsrOptions mo;
+  mo.use_mmap = true;
+  auto mapped = CompactCsr::BuildTranspose(g, 0, g.num_nodes(), mo);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().message();
+
+  ExpectCsrMatchesGraph(mapped.value(), g);
+  EXPECT_EQ(mapped.value().EncodedBytes(), resident.value().EncodedBytes());
+
+  // Resident mode: payload on the heap, nothing mapped.
+  EXPECT_FALSE(resident.value().mmap_backed());
+  EXPECT_EQ(resident.value().MappedBytes(), 0u);
+  EXPECT_GE(resident.value().MemoryBytes(),
+            resident.value().EncodedBytes());
+  // mmap mode: payload file-backed, MemoryBytes holds only the offsets.
+  EXPECT_TRUE(mapped.value().mmap_backed());
+  EXPECT_EQ(mapped.value().MappedBytes(), mapped.value().EncodedBytes());
+  EXPECT_LT(mapped.value().MemoryBytes(), resident.value().MemoryBytes());
+}
+
+TEST(CompactCsrTest, RejectsInvalidRanges) {
+  const Graph g = test::MustGraph(4, {{0, 1}, {1, 2}});
+  EXPECT_FALSE(CompactCsr::BuildTranspose(g, 3, 2).ok());
+  EXPECT_FALSE(CompactCsr::BuildTranspose(g, 0, 5).ok());
+  auto empty = CompactCsr::BuildTranspose(g, 2, 2);
+  ASSERT_TRUE(empty.ok());  // zero-width range is legal (empty partition)
+  EXPECT_EQ(empty.value().num_arcs(), 0u);
+}
+
+TEST(PartitionedGraphTest, NodeRangeCutsAndStableIdMaps) {
+  const Graph g = GeneratorFamilyGraphs()[0];
+  const NodeId n = g.num_nodes();
+  PartitionOptions po;
+  po.num_partitions = 4;
+  auto pg = PartitionedGraph::Build(g, po);
+  ASSERT_TRUE(pg.ok());
+
+  uint64_t arcs = 0;
+  NodeId nodes = 0;
+  for (uint32_t p = 0; p < 4; ++p) {
+    const auto& info = pg.value().info(p);
+    EXPECT_EQ(info.node_begin, static_cast<NodeId>(uint64_t{p} * n / 4));
+    arcs += info.num_in_arcs;
+    nodes += info.num_nodes();
+    EXPECT_EQ(info.num_in_arcs, pg.value().csr(p).num_arcs());
+  }
+  EXPECT_EQ(nodes, n);
+  EXPECT_EQ(arcs, g.num_edges());
+
+  for (NodeId v = 0; v < n; ++v) {
+    const uint32_t p = pg.value().PartitionOf(v);
+    ASSERT_LT(p, 4u);
+    EXPECT_TRUE(pg.value().csr(p).Covers(v));
+    // Stable round trip through the local id space.
+    EXPECT_EQ(pg.value().LocalToGlobal(p, pg.value().GlobalToLocal(v)), v);
+  }
+}
+
+TEST(PartitionedGraphTest, EdgeCutBalancesInArcsOnSkewedDegrees) {
+  // A hub-heavy graph: node-range would give partition 0 nearly all
+  // in-arcs of the early hub nodes; edge-cut must spread them.
+  const Graph g = GeneratorFamilyGraphs()[0];  // BA: early nodes are hubs
+  PartitionOptions po;
+  po.num_partitions = 4;
+  po.policy = PartitionPolicy::kEdgeCut;
+  auto pg = PartitionedGraph::Build(g, po);
+  ASSERT_TRUE(pg.ok());
+
+  const uint64_t m = g.num_edges();
+  uint64_t max_arcs = 0;
+  uint64_t arcs = 0;
+  for (uint32_t p = 0; p < 4; ++p) {
+    arcs += pg.value().info(p).num_in_arcs;
+    max_arcs = std::max(max_arcs, pg.value().info(p).num_in_arcs);
+  }
+  EXPECT_EQ(arcs, m);
+  // Perfectly balanced would be m/4; a single node's in-degree is the
+  // granularity limit, so allow slack but require real balancing.
+  EXPECT_LE(max_arcs, m / 2);
+
+  // Cut points stay monotone and cover [0, n).
+  NodeId prev_end = 0;
+  for (uint32_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(pg.value().info(p).node_begin, prev_end);
+    prev_end = pg.value().info(p).node_end;
+  }
+  EXPECT_EQ(prev_end, g.num_nodes());
+}
+
+TEST(PartitionedGraphTest, MorePartitionsThanNodesLeavesEmptyTail) {
+  const Graph g = test::MustGraph(3, {{0, 1}, {1, 2}, {2, 0}});
+  for (PartitionPolicy policy :
+       {PartitionPolicy::kNodeRange, PartitionPolicy::kEdgeCut}) {
+    SCOPED_TRACE(graph::PartitionPolicyName(policy));
+    PartitionOptions po;
+    po.num_partitions = 8;  // > num_nodes
+    po.policy = policy;
+    auto pg = PartitionedGraph::Build(g, po);
+    ASSERT_TRUE(pg.ok());
+    EXPECT_EQ(pg.value().num_partitions(), 8u);
+    NodeId nodes = 0;
+    uint32_t empties = 0;
+    for (uint32_t p = 0; p < 8; ++p) {
+      nodes += pg.value().info(p).num_nodes();
+      if (pg.value().info(p).empty()) ++empties;
+    }
+    EXPECT_EQ(nodes, 3u);
+    EXPECT_EQ(empties, 5u);
+    // Every node still resolves to a non-empty partition covering it.
+    for (NodeId v = 0; v < 3; ++v) {
+      const uint32_t p = pg.value().PartitionOf(v);
+      EXPECT_FALSE(pg.value().info(p).empty());
+      EXPECT_TRUE(pg.value().csr(p).Covers(v));
+    }
+  }
+}
+
+TEST(PartitionedGraphTest, SingleNodePartitions) {
+  const Graph g = test::MustGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  PartitionOptions po;
+  po.num_partitions = 5;
+  auto pg = PartitionedGraph::Build(g, po);
+  ASSERT_TRUE(pg.ok());
+  for (uint32_t p = 0; p < 5; ++p) {
+    EXPECT_EQ(pg.value().info(p).num_nodes(), 1u);
+    EXPECT_EQ(pg.value().PartitionOf(p), p);
+    EXPECT_EQ(pg.value().GlobalToLocal(p), 0u);
+  }
+}
+
+TEST(PartitionedGraphTest, RejectsZeroPartitions) {
+  const Graph g = test::MustGraph(2, {{0, 1}});
+  PartitionOptions po;
+  po.num_partitions = 0;
+  EXPECT_FALSE(PartitionedGraph::Build(g, po).ok());
+}
+
+// Satellite: the partition layer's bytes flow into MemoryMeter with the
+// resident/reclaimable split the spill tier established.
+TEST(PartitionedGraphTest, AccountIntoMeterSplitsResidentAndMapped) {
+  const Graph g = GeneratorFamilyGraphs()[0];
+  PartitionOptions po;
+  po.num_partitions = 4;
+  auto resident = PartitionedGraph::Build(g, po);
+  ASSERT_TRUE(resident.ok());
+  po.use_mmap = true;
+  auto mapped = PartitionedGraph::Build(g, po);
+  ASSERT_TRUE(mapped.ok());
+
+  MemoryMeter meter;
+  resident.value().AccountInto(meter);
+  EXPECT_EQ(meter.current_bytes(), resident.value().MemoryBytes());
+  EXPECT_EQ(meter.spilled_bytes(), 0u);
+
+  MemoryMeter mmeter;
+  mapped.value().AccountInto(mmeter);
+  EXPECT_EQ(mmeter.current_bytes(), mapped.value().MemoryBytes());
+  EXPECT_EQ(mmeter.spilled_bytes(), mapped.value().MappedBytes());
+  EXPECT_GT(mmeter.spilled_bytes(), 0u);
+  // The mmap split moves payload out of the resident figure.
+  EXPECT_LT(mapped.value().MemoryBytes(), resident.value().MemoryBytes());
+}
+
+// For the same Rng substream, the per-partition sampler must reproduce the
+// monolithic RrSampler's set exactly — content, member order, width — from
+// ANY home partition (the home only changes the locality counters).
+TEST(PartitionSamplerTest, MatchesMonolithicRrSamplerFromEveryHome) {
+  for (auto model : {rrset::DiffusionModel::kIndependentCascade,
+                     rrset::DiffusionModel::kLinearThreshold}) {
+    const Graph g = GeneratorFamilyGraphs()[0];
+    std::vector<double> probs(g.num_edges(), 0.0);
+    if (model == rrset::DiffusionModel::kLinearThreshold) {
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        for (auto eid : g.InEdgeIds(v)) {
+          probs[eid] = 1.0 / static_cast<double>(g.InDegree(v));
+        }
+      }
+    } else {
+      probs.assign(g.num_edges(), 0.12);
+    }
+    PartitionOptions po;
+    po.num_partitions = 3;
+    po.policy = PartitionPolicy::kEdgeCut;
+    auto pg = PartitionedGraph::Build(g, po);
+    ASSERT_TRUE(pg.ok());
+
+    rrset::RrSampler mono(g, probs, model);
+    std::vector<NodeId> want, got;
+    for (uint32_t home = 0; home < 3; ++home) {
+      SCOPED_TRACE(testing::Message() << "home " << home);
+      rrset::PartitionRrSampler part(pg.value(), probs, model, home);
+      for (uint64_t id = 0; id < 200; ++id) {
+        Rng a(HashSeed(555, id));
+        Rng b(HashSeed(555, id));
+        const NodeId r1 = mono.SampleInto(a, &want);
+        const NodeId r2 = part.SampleInto(b, &got);
+        ASSERT_EQ(r1, r2) << "set " << id;
+        ASSERT_EQ(want, got) << "set " << id;
+        ASSERT_EQ(mono.last_width(), part.last_width()) << "set " << id;
+      }
+      // Expansions were counted against this home.
+      EXPECT_GT(part.local_expansions() + part.frontier_crossings(), 0u);
+    }
+  }
+}
+
+rrset::ParallelSampler MakePartitionedSampler(
+    const Graph& g, std::span<const double> probs, uint32_t threads,
+    const PartitionedGraph* pg) {
+  rrset::ParallelSamplerOptions opts;
+  opts.num_threads = threads;
+  opts.min_sets_per_thread = 1;
+  opts.partitions = pg;
+  return rrset::ParallelSampler(
+      g, probs, rrset::DiffusionModel::kIndependentCascade, 321, opts);
+}
+
+TEST(PartitionSamplerTest, StoreBitIdenticalAcrossPartitionCounts) {
+  const Graph g = GeneratorFamilyGraphs()[0];
+  const std::vector<double> probs(g.num_edges(), 0.1);
+  constexpr uint64_t kSets = 3000;
+
+  rrset::RrStore reference(g.num_nodes());
+  MakePartitionedSampler(g, probs, 1, nullptr).SampleAppend(reference,
+                                                            kSets);
+
+  for (uint32_t parts : {2u, 8u}) {
+    for (uint32_t threads : {1u, 4u}) {
+      for (PartitionPolicy policy :
+           {PartitionPolicy::kNodeRange, PartitionPolicy::kEdgeCut}) {
+        SCOPED_TRACE(testing::Message()
+                     << parts << " partitions, " << threads << " threads, "
+                     << graph::PartitionPolicyName(policy));
+        PartitionOptions po;
+        po.num_partitions = parts;
+        po.policy = policy;
+        auto pg = PartitionedGraph::Build(g, po);
+        ASSERT_TRUE(pg.ok());
+        rrset::RrStore store(g.num_nodes());
+        rrset::ParallelSampler sampler =
+            MakePartitionedSampler(g, probs, threads, &pg.value());
+        EXPECT_TRUE(sampler.partitioned());
+        sampler.SampleAppend(store, kSets);
+
+        ASSERT_EQ(store.num_sets(), reference.num_sets());
+        for (uint64_t r = 0; r < kSets; ++r) {
+          auto ma = reference.SetMembers(r);
+          auto mb = store.SetMembers(r);
+          ASSERT_EQ(std::vector<NodeId>(ma.begin(), ma.end()),
+                    std::vector<NodeId>(mb.begin(), mb.end()))
+              << "set " << r;
+        }
+        // Dispatch accounting: every set was owned by exactly one
+        // partition, and the diagnostics saw every expansion.
+        const auto& stats = sampler.partition_stats();
+        ASSERT_EQ(stats.sets_sampled.size(), parts);
+        EXPECT_EQ(std::accumulate(stats.sets_sampled.begin(),
+                                  stats.sets_sampled.end(), uint64_t{0}),
+                  kSets);
+        EXPECT_GT(stats.local_expansions + stats.frontier_crossings, 0u);
+        const double rate = stats.LocalHitRate();
+        EXPECT_GE(rate, 0.0);
+        EXPECT_LE(rate, 1.0);
+      }
+    }
+  }
+}
+
+TEST(PartitionSamplerTest, IncrementalGrowthMatchesOneBatchPartitioned) {
+  const Graph g = GeneratorFamilyGraphs()[0];
+  const std::vector<double> probs(g.num_edges(), 0.1);
+  PartitionOptions po;
+  po.num_partitions = 4;
+  auto pg = PartitionedGraph::Build(g, po);
+  ASSERT_TRUE(pg.ok());
+
+  rrset::RrStore one_batch(g.num_nodes());
+  MakePartitionedSampler(g, probs, 2, &pg.value())
+      .SampleAppend(one_batch, 2500);
+
+  rrset::RrStore grown(g.num_nodes());
+  rrset::ParallelSampler sampler =
+      MakePartitionedSampler(g, probs, 3, &pg.value());
+  for (uint64_t inc : {1ull, 7ull, 992ull, 1000ull, 500ull}) {
+    sampler.SampleAppend(grown, inc);
+  }
+  ASSERT_EQ(one_batch.num_sets(), grown.num_sets());
+  for (uint64_t r = 0; r < one_batch.num_sets(); ++r) {
+    auto ma = one_batch.SetMembers(r);
+    auto mb = grown.SetMembers(r);
+    ASSERT_EQ(std::vector<NodeId>(ma.begin(), ma.end()),
+              std::vector<NodeId>(mb.begin(), mb.end()))
+        << "set " << r;
+  }
+}
+
+// ---- End-to-end: the ctest-enforced acceptance sweep. ----
+
+test::OwnedInstance MakeE2eInstance(uint32_t num_ads = 2,
+                                    bool identical_ads = false) {
+  graph::BarabasiAlbertOptions opts;
+  opts.num_nodes = 200;
+  opts.edges_per_node = 3;
+  opts.seed = 9;
+  auto g = graph::GenerateBarabasiAlbert(opts);
+  ISA_CHECK(g.ok());
+  std::vector<graph::Edge> edges;
+  for (NodeId u = 0; u < g.value().num_nodes(); ++u) {
+    for (NodeId v : g.value().OutNeighbors(u)) edges.push_back({u, v});
+  }
+  std::vector<core::AdvertiserSpec> ads(num_ads);
+  for (uint32_t j = 0; j < num_ads; ++j) {
+    ads[j].cpe = identical_ads ? 1.0 : 1.0 + 0.3 * j;
+    ads[j].budget = identical_ads ? 30.0 : 30.0 + 10.0 * j;
+  }
+  std::vector<std::vector<double>> incentives(
+      num_ads, std::vector<double>(g.value().num_nodes(), 1.0));
+  return test::MakeInstance(g.value().num_nodes(), std::move(edges), 0.08,
+                            std::move(ads), std::move(incentives));
+}
+
+void ExpectTiResultsBitIdentical(const core::TiResult& a,
+                                 const core::TiResult& b) {
+  EXPECT_EQ(a.allocation.seed_sets, b.allocation.seed_sets);
+  EXPECT_EQ(a.total_revenue, b.total_revenue);  // bitwise, not approx
+  EXPECT_EQ(a.total_seeding_cost, b.total_seeding_cost);
+  EXPECT_EQ(a.total_seeds, b.total_seeds);
+  EXPECT_EQ(a.total_theta, b.total_theta);
+  EXPECT_EQ(a.total_growth_events, b.total_growth_events);
+  ASSERT_EQ(a.ad_stats.size(), b.ad_stats.size());
+  for (size_t j = 0; j < a.ad_stats.size(); ++j) {
+    SCOPED_TRACE(testing::Message() << "ad " << j);
+    EXPECT_EQ(a.ad_stats[j].theta, b.ad_stats[j].theta);
+    EXPECT_EQ(a.ad_stats[j].seeds, b.ad_stats[j].seeds);
+    EXPECT_EQ(a.ad_stats[j].revenue, b.ad_stats[j].revenue);
+    EXPECT_EQ(a.ad_stats[j].payment, b.ad_stats[j].payment);
+    EXPECT_EQ(a.ad_stats[j].latent_seed_size,
+              b.ad_stats[j].latent_seed_size);
+  }
+}
+
+// The acceptance matrix: bit-identical TiResult across {1,2,8} partitions
+// x {1,2,8} threads x {sync, async} x {unbudgeted, 25% budget}. The
+// reference for each growth mode is the monolithic single-threaded
+// unbudgeted run (async legitimately differs from sync —
+// deterministically so — hence per-mode references).
+TEST(PartitionE2eTest, TiResultBitIdenticalAcrossPartitionMatrix) {
+  auto owned = MakeE2eInstance();
+
+  for (bool async_growth : {false, true}) {
+    SCOPED_TRACE(testing::Message()
+                 << (async_growth ? "async" : "sync") << " growth");
+    core::TiOptions base;
+    base.epsilon = 0.3;
+    base.seed = 4242;
+    base.theta_cap = 10'000;
+    base.async_growth = async_growth;
+
+    core::TiOptions ref_options = base;
+    ref_options.num_threads = 1;
+    auto ref = core::RunTiCsrm(*owned.instance, ref_options);
+    ASSERT_TRUE(ref.ok()) << ref.status().message();
+    ASSERT_GT(ref.value().total_seeds, 0u);
+    // 25% of the reference's per-store resident footprint forces real
+    // spilling without starving the hot tail.
+    const uint64_t budget =
+        ref.value().total_rr_memory_bytes / owned.instance->num_ads() / 4;
+    ASSERT_GT(budget, 0u);
+
+    for (uint32_t parts : {1u, 2u, 8u}) {
+      for (uint32_t threads : {1u, 2u, 8u}) {
+        for (uint64_t rr_budget : {uint64_t{0}, budget}) {
+          SCOPED_TRACE(testing::Message()
+                       << parts << " partitions, " << threads
+                       << " threads, budget " << rr_budget);
+          core::TiOptions options = base;
+          options.num_partitions = parts;
+          options.num_threads = threads;
+          options.rr_memory_budget_bytes = rr_budget;
+          auto result = core::RunTiCsrm(*owned.instance, options);
+          ASSERT_TRUE(result.ok()) << result.status().message();
+          ExpectTiResultsBitIdentical(ref.value(), result.value());
+          EXPECT_EQ(result.value().num_partitions, parts);
+          if (parts > 1) {
+            ASSERT_EQ(result.value().total_partition_sets_sampled.size(),
+                      parts);
+            EXPECT_GT(result.value().partition_graph_memory_bytes, 0u);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PartitionE2eTest, EdgeCutPolicyAndMmapMatchMonolithic) {
+  auto owned = MakeE2eInstance();
+  core::TiOptions base;
+  base.epsilon = 0.3;
+  base.seed = 777;
+  base.theta_cap = 8'000;
+  base.num_threads = 1;
+  auto ref = core::RunTiCsrm(*owned.instance, base);
+  ASSERT_TRUE(ref.ok());
+  ASSERT_GT(ref.value().total_seeds, 0u);
+
+  for (auto policy :
+       {PartitionPolicy::kNodeRange, PartitionPolicy::kEdgeCut}) {
+    for (bool mmap : {false, true}) {
+      for (uint32_t threads : {1u, 8u}) {
+        SCOPED_TRACE(testing::Message()
+                     << graph::PartitionPolicyName(policy)
+                     << (mmap ? " mmap" : " resident") << " threads="
+                     << threads);
+        core::TiOptions options = base;
+        options.num_partitions = 8;
+        options.partition_policy = policy;
+        options.partition_mmap = mmap;
+        options.num_threads = threads;
+        auto result = core::RunTiCsrm(*owned.instance, options);
+        ASSERT_TRUE(result.ok()) << result.status().message();
+        ExpectTiResultsBitIdentical(ref.value(), result.value());
+        if (mmap) {
+          EXPECT_GT(result.value().partition_graph_mapped_bytes, 0u);
+        } else {
+          EXPECT_EQ(result.value().partition_graph_mapped_bytes, 0u);
+        }
+      }
+    }
+  }
+}
+
+// Shared-store ads (identical Eq. 1 probabilities) sample through ONE
+// physical store whose sets span every partition; sharing must compose
+// with partitioned dispatch without perturbing results.
+TEST(PartitionE2eTest, SharedStoreAdsSpanPartitions) {
+  auto owned = MakeE2eInstance(/*num_ads=*/3, /*identical_ads=*/true);
+  core::TiOptions base;
+  base.epsilon = 0.3;
+  base.seed = 31337;
+  base.theta_cap = 8'000;
+  base.share_samples = true;
+  base.num_threads = 1;
+  auto ref = core::RunTiCsrm(*owned.instance, base);
+  ASSERT_TRUE(ref.ok());
+  ASSERT_GT(ref.value().total_seeds, 0u);
+
+  for (uint32_t parts : {2u, 8u}) {
+    SCOPED_TRACE(testing::Message() << parts << " partitions");
+    core::TiOptions options = base;
+    options.num_partitions = parts;
+    options.num_threads = 4;
+    auto result = core::RunTiCsrm(*owned.instance, options);
+    ASSERT_TRUE(result.ok()) << result.status().message();
+    ExpectTiResultsBitIdentical(ref.value(), result.value());
+    // The group's sampling is charged to the leader; its dispatch counts
+    // must cover every partition-owned set exactly once.
+    const auto& leader = result.value().ad_stats[0];
+    ASSERT_EQ(leader.partition_sets_sampled.size(), parts);
+    const uint64_t dispatched =
+        std::accumulate(leader.partition_sets_sampled.begin(),
+                        leader.partition_sets_sampled.end(), uint64_t{0});
+    EXPECT_GT(dispatched, 0u);
+    EXPECT_GE(leader.partition_local_hit_rate, 0.0);
+    EXPECT_LE(leader.partition_local_hit_rate, 1.0);
+  }
+}
+
+// Partition count beyond the node count must still produce the identical
+// result (trailing empty partitions own nothing).
+TEST(PartitionE2eTest, PartitionCountBeyondNodeCount) {
+  auto owned = test::MakeInstance(
+      6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}}, 0.5,
+      [] {
+        core::AdvertiserSpec ad;
+        ad.cpe = 1.0;
+        ad.budget = 10.0;
+        return std::vector<core::AdvertiserSpec>{ad};
+      }(),
+      {std::vector<double>(6, 1.0)});
+  core::TiOptions base;
+  base.epsilon = 0.3;
+  base.seed = 5;
+  base.theta_cap = 2'000;
+  base.num_threads = 1;
+  auto ref = core::RunTiCsrm(*owned.instance, base);
+  ASSERT_TRUE(ref.ok());
+
+  core::TiOptions options = base;
+  options.num_partitions = 64;  // single-node + empty partitions
+  options.num_threads = 2;
+  auto result = core::RunTiCsrm(*owned.instance, options);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  ExpectTiResultsBitIdentical(ref.value(), result.value());
+}
+
+TEST(PartitionE2eTest, RejectsZeroPartitions) {
+  auto owned = MakeE2eInstance();
+  core::TiOptions options;
+  options.num_partitions = 0;
+  EXPECT_FALSE(core::RunTiCsrm(*owned.instance, options).ok());
+}
+
+}  // namespace
+}  // namespace isa
