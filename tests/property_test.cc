@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <tuple>
 
 #include "common/rng.h"
@@ -11,6 +12,7 @@
 #include "core/ti_greedy.h"
 #include "diffusion/cascade.h"
 #include "diffusion/exact.h"
+#include "graph/dataset_catalog.h"
 #include "graph/generators.h"
 #include "rrset/rr_sampler.h"
 #include "tests/test_util.h"
@@ -125,6 +127,65 @@ TEST_P(SpreadProperties, McEstimatorConsistent) {
 
 INSTANTIATE_TEST_SUITE_P(Gadgets, SpreadProperties,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------- Weighting-regime RR distributions (dataset catalog) ----------
+
+// For every weighting regime the catalog can materialize, the sampled
+// RR-set membership frequency of each node must match its brute-force
+// reachability probability: with a uniform random root r,
+// P(v in RR) = sigma({v}) / n (sigma exact under IC). The tolerance is a
+// Chernoff bound, not a magic constant: count[v] ~ Binomial(theta, p)
+// concentrates as P(|count - theta p| >= delta theta p) <= 2 exp(-delta^2
+// theta p / 3), so delta = sqrt(3 ln(2/eps) / (theta p)) gives a per-node
+// failure probability eps = 1e-9 — across all regimes/topics/nodes the
+// test is deterministic-in-practice while staying honestly statistical.
+TEST(RrRegimeDistribution, MatchesBruteForceWithinChernoffBound) {
+  // 5-node gadget with mixed in-degrees (indeg 2 at nodes 2 and 4).
+  const graph::Graph g = test::MustGraph(
+      5, {{0, 1}, {1, 2}, {2, 0}, {0, 3}, {3, 4}, {4, 2}, {1, 4}});
+  const graph::NodeId n = g.num_nodes();
+  const uint64_t theta = 150'000;
+  const double ln_term = std::log(2.0 / 1e-9);
+
+  struct RegimeCase {
+    graph::WeightingRegime regime;
+    uint32_t topics;
+  };
+  const RegimeCase cases[] = {
+      {graph::WeightingRegime::kWeightedCascade, 1},
+      {graph::WeightingRegime::kUniformIc, 1},
+      {graph::WeightingRegime::kTopicMix, 3},
+  };
+  for (const RegimeCase& c : cases) {
+    auto weights =
+        graph::MakeRegimeWeights(g, c.regime, c.topics, 0.35, 2017);
+    ASSERT_TRUE(weights.ok()) << weights.status().ToString();
+    ASSERT_EQ(weights.value().size(), c.topics);
+    for (uint32_t z = 0; z < c.topics; ++z) {
+      const std::vector<double>& probs = weights.value()[z];
+      rrset::RrSampler sampler(g, probs);
+      Rng rng(0x5eed ^ z);
+      std::vector<uint64_t> count(n, 0);
+      std::vector<graph::NodeId> rr;
+      for (uint64_t i = 0; i < theta; ++i) {
+        sampler.SampleInto(rng, &rr);
+        for (auto v : rr) ++count[v];
+      }
+      for (graph::NodeId v = 0; v < n; ++v) {
+        const graph::NodeId s[1] = {v};
+        const double sigma =
+            diffusion::ExactSpread(g, probs, s).value();
+        const double p = sigma / n;  // >= 1/n: v always reaches itself
+        const double delta =
+            std::sqrt(3.0 * ln_term / (static_cast<double>(theta) * p));
+        const double observed = static_cast<double>(count[v]) / theta;
+        EXPECT_NEAR(observed, p, delta * p)
+            << graph::WeightingRegimeName(c.regime) << " topic " << z
+            << " node " << v;
+      }
+    }
+  }
+}
 
 // ---------- Greedy invariants over randomized instances ----------
 
